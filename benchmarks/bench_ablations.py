@@ -1,0 +1,71 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* pulling strategy: prioritized (Definition 5) vs round-robin;
+* index build method: bulk (Hilbert packing) vs incremental insert;
+* substrate: index construction cost itself (SRT vs IR² builds).
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.combinations import PULL_PRIORITIZED, PULL_ROUND_ROBIN
+from repro.core.processor import QueryProcessor
+from repro.core.stps import stps
+
+
+@pytest.mark.parametrize("pulling", [PULL_PRIORITIZED, PULL_ROUND_ROBIN])
+class TestPullingStrategy:
+    def test_stps_range(self, benchmark, ctx, pulling):
+        feature_sets = ctx.feature_sets()
+        processor = ctx.synthetic_processor("srt")
+        queries = ctx.workload(feature_sets, n_queries=8)
+        processor.query(queries[0])  # warm buffers
+        cycle = itertools.cycle(queries)
+
+        def run():
+            return stps(
+                processor.object_tree,
+                processor.feature_trees,
+                next(cycle),
+                pulling=pulling,
+            )
+
+        benchmark(run)
+
+
+@pytest.mark.parametrize("method", ["bulk", "insert"])
+class TestBuildMethod:
+    def test_build_cost(self, benchmark, ctx, method):
+        objects = ctx.objects()
+        feature_sets = ctx.feature_sets()
+
+        def build():
+            return QueryProcessor.build(
+                objects, feature_sets, index="srt", method=method
+            )
+
+        benchmark.pedantic(build, rounds=2, iterations=1)
+
+    def test_query_on_built_index(self, benchmark, ctx, method):
+        processor = QueryProcessor.build(
+            ctx.objects(), ctx.feature_sets(), index="srt", method=method
+        )
+        queries = ctx.workload(ctx.feature_sets(), n_queries=8)
+        processor.query(queries[0])
+        cycle = itertools.cycle(queries)
+        benchmark(lambda: processor.query(next(cycle)))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestIndexBuildCost:
+    def test_feature_index_build(self, benchmark, ctx, index):
+        feature_sets = ctx.feature_sets()
+
+        def build():
+            return QueryProcessor.build(
+                ctx.objects(), feature_sets, index=index
+            )
+
+        benchmark.pedantic(build, rounds=2, iterations=1)

@@ -1,0 +1,62 @@
+"""Figure 10 — influence-score STPS scalability (synthetic).
+
+Same four panels as Figure 7 under the influence score (Definition 6);
+the paper reports comparable, slightly higher times than the range score.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.query import Variant
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig10a:
+    def test_default_features(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, variant=Variant.INFLUENCE))
+
+    def test_max_features(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                n_feat=ctx.cfg.cardinality_sweep[-1],
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig10b:
+    def test_max_objects(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                n_obj=ctx.cfg.cardinality_sweep[-1],
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig10c:
+    def test_max_feature_sets(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx, index, variant=Variant.INFLUENCE, c=ctx.cfg.c_sweep[-1]
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig10d:
+    def test_max_vocabulary(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                vocab=ctx.cfg.vocab_sweep[-1],
+            )
+        )

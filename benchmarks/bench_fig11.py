@@ -1,0 +1,61 @@
+"""Figure 11 — influence score on the real-like dataset.
+
+Panels: varying k (a) and queried keywords (b).  The paper's observation:
+large k gets *cheaper* relative to the range score because high-score
+combinations cover many data objects under the influence decay.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.query import Variant
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig11a:
+    def test_small_k(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                dataset="real",
+                variant=Variant.INFLUENCE,
+                k=ctx.cfg.k_sweep[0],
+            )
+        )
+
+    def test_large_k(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                dataset="real",
+                variant=Variant.INFLUENCE,
+                k=ctx.cfg.k_sweep[-1],
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig11b:
+    def test_one_keyword(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                dataset="real",
+                variant=Variant.INFLUENCE,
+                keywords_per_set=1,
+            )
+        )
+
+    def test_many_keywords(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                dataset="real",
+                variant=Variant.INFLUENCE,
+                keywords_per_set=ctx.cfg.keywords_sweep[-1],
+            )
+        )

@@ -1,0 +1,69 @@
+"""Figure 12 — influence score, synthetic dataset, query parameters.
+
+The paper: execution time similar to / slightly above the range score
+(Figure 9), same trends, SRT consistently ahead.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.query import Variant
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig12a:
+    def test_small_radius(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                radius=ctx.cfg.radius_sweep[0],
+            )
+        )
+
+    def test_large_radius(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                radius=ctx.cfg.radius_sweep[-1],
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig12b:
+    def test_small_k(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx, index, variant=Variant.INFLUENCE, k=ctx.cfg.k_sweep[0]
+            )
+        )
+
+    def test_large_k(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx, index, variant=Variant.INFLUENCE, k=ctx.cfg.k_sweep[-1]
+            )
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig12c:
+    def test_mid_lambda(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, variant=Variant.INFLUENCE, lam=0.5))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig12d:
+    def test_many_keywords(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                variant=Variant.INFLUENCE,
+                keywords_per_set=ctx.cfg.keywords_sweep[-1],
+            )
+        )

@@ -1,0 +1,41 @@
+"""Figure 13 — nearest-neighbor STPS scalability (synthetic).
+
+Panels: varying |F_i| (a) and |O| (b).  The paper: the NN variant is the
+costliest (Voronoi-cell computation dominates for large feature sets; its
+I/O+CPU is tracked separately in the harness, the 'striped' bars).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.query import Variant
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig13a:
+    def test_default_features(self, benchmark, ctx, index):
+        runner = make_runner(ctx, index, variant=Variant.NEAREST, n_queries=4)
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_max_features(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            variant=Variant.NEAREST,
+            n_feat=ctx.cfg.cardinality_sweep[-1],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig13b:
+    def test_max_objects(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            variant=Variant.NEAREST,
+            n_obj=ctx.cfg.cardinality_sweep[-1],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)

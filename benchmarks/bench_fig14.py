@@ -1,0 +1,59 @@
+"""Figure 14 — nearest-neighbor STPS, varying k.
+
+Panels: real-like dataset (a) and synthetic dataset (b).  The paper:
+near-flat in k on the real data (one combination's cells cover many
+objects), growing with k on the synthetic data.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+from repro.core.query import Variant
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig14aReal:
+    def test_small_k(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            dataset="real",
+            variant=Variant.NEAREST,
+            k=ctx.cfg.k_sweep[0],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_large_k(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            dataset="real",
+            variant=Variant.NEAREST,
+            k=ctx.cfg.k_sweep[-1],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig14bSynthetic:
+    def test_small_k(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            variant=Variant.NEAREST,
+            k=ctx.cfg.k_sweep[0],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_large_k(self, benchmark, ctx, index):
+        runner = make_runner(
+            ctx,
+            index,
+            variant=Variant.NEAREST,
+            k=ctx.cfg.k_sweep[-1],
+            n_queries=4,
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)

@@ -1,0 +1,42 @@
+"""Figure 7 — STPS scalability on the synthetic dataset (range score).
+
+Four panels: execution time vs |F_i| (a), |O| (b), number of feature
+sets c (c) and indexed keywords (d), for the SRT-index vs the modified
+IR²-tree.  Expected shapes: STPS orders of magnitude below STDS
+(bench_table3), SRT consistently below IR², sub-linear growth in |F_i|.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig7a:
+    def test_default_features(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index))
+
+    def test_max_features(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, n_feat=ctx.cfg.cardinality_sweep[-1])
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig7b:
+    def test_max_objects(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, n_obj=ctx.cfg.cardinality_sweep[-1])
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig7c:
+    def test_max_feature_sets(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, c=ctx.cfg.c_sweep[-1]))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig7d:
+    def test_max_vocabulary(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, vocab=ctx.cfg.vocab_sweep[-1]))

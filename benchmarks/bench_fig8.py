@@ -1,0 +1,63 @@
+"""Figure 8 — STPS query parameters on the real-like dataset (range).
+
+Panels: radius r (a), k (b), smoothing λ (c), queried keywords (d).
+Expected shapes: cost *decreases* with larger r, grows with k, flat in λ,
+near-flat in queried keywords with a cheap 1-keyword case.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig8a:
+    def test_small_radius(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, dataset="real", radius=ctx.cfg.radius_sweep[0])
+        )
+
+    def test_large_radius(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, dataset="real", radius=ctx.cfg.radius_sweep[-1])
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig8b:
+    def test_small_k(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, dataset="real", k=ctx.cfg.k_sweep[0]))
+
+    def test_large_k(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, dataset="real", k=ctx.cfg.k_sweep[-1]))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig8c:
+    def test_low_lambda(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, dataset="real", lam=ctx.cfg.lam_sweep[0])
+        )
+
+    def test_high_lambda(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, dataset="real", lam=ctx.cfg.lam_sweep[-1])
+        )
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig8d:
+    def test_one_keyword(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, dataset="real", keywords_per_set=1)
+        )
+
+    def test_many_keywords(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(
+                ctx,
+                index,
+                dataset="real",
+                keywords_per_set=ctx.cfg.keywords_sweep[-1],
+            )
+        )

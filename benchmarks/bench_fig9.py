@@ -1,0 +1,45 @@
+"""Figure 9 — STPS query parameters on the synthetic dataset (range).
+
+Same panels as Figure 8 on the synthetic clustered data; the paper notes
+the same tendencies with overall cheaper queries than on the real data
+(many small clusters vs a few large ones).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig9a:
+    def test_small_radius(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, radius=ctx.cfg.radius_sweep[0]))
+
+    def test_large_radius(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, radius=ctx.cfg.radius_sweep[-1]))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig9b:
+    def test_small_k(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, k=ctx.cfg.k_sweep[0]))
+
+    def test_large_k(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, k=ctx.cfg.k_sweep[-1]))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig9c:
+    def test_mid_lambda(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, lam=0.5))
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestFig9d:
+    def test_one_keyword(self, benchmark, ctx, index):
+        benchmark(make_runner(ctx, index, keywords_per_set=1))
+
+    def test_many_keywords(self, benchmark, ctx, index):
+        benchmark(
+            make_runner(ctx, index, keywords_per_set=ctx.cfg.keywords_sweep[-1])
+        )

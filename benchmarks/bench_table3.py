@@ -1,0 +1,63 @@
+"""Table 3 — STDS execution time on the synthetic dataset.
+
+The paper's Table 3 reports STDS (the baseline scan) per-query times for
+both indexes while varying |F_i|, |O|, c and the vocabulary; the point of
+the table is that STDS is orders of magnitude slower than STPS
+(cf. bench_fig7) and grows with every parameter.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_runner
+
+
+@pytest.mark.parametrize("index", ["srt", "ir2"])
+class TestTable3:
+    def test_feature_cardinality(self, benchmark, ctx, index):
+        """Row 1: varying |F_i| (default point)."""
+        runner = make_runner(ctx, index, algorithm="stds", n_queries=3)
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_larger_feature_set(self, benchmark, ctx, index):
+        """Row 1: largest |F_i| of the sweep."""
+        runner = make_runner(
+            ctx,
+            index,
+            algorithm="stds",
+            n_queries=3,
+            n_feat=ctx.cfg.cardinality_sweep[-1],
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_larger_object_set(self, benchmark, ctx, index):
+        """Row 2: largest |O| of the sweep (STDS is linear in |O|)."""
+        runner = make_runner(
+            ctx,
+            index,
+            algorithm="stds",
+            n_queries=3,
+            n_obj=ctx.cfg.cardinality_sweep[-1],
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_more_feature_sets(self, benchmark, ctx, index):
+        """Row 3: larger c."""
+        runner = make_runner(
+            ctx,
+            index,
+            algorithm="stds",
+            n_queries=3,
+            c=ctx.cfg.c_sweep[-1],
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    def test_larger_vocabulary(self, benchmark, ctx, index):
+        """Row 4: largest indexed-keywords value."""
+        runner = make_runner(
+            ctx,
+            index,
+            algorithm="stds",
+            n_queries=3,
+            vocab=ctx.cfg.vocab_sweep[-1],
+        )
+        benchmark.pedantic(runner, rounds=3, iterations=1)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates the timing of one table/figure of
+the paper at *quick* scale (set ``REPRO_BENCH_SCALE=default`` for the
+10x larger grid; the full text harness lives in ``repro.bench`` /
+``repro-bench``).  Index builds are cached per session; the benchmarked
+callable is a single query execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.context import BenchContext
+from repro.core.query import Variant
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    import os
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    cfg = {
+        "quick": BenchConfig.quick,
+        "default": BenchConfig.default,
+        "paper": BenchConfig.paper,
+    }[scale]()
+    return BenchContext(cfg)
+
+
+class QueryRunner:
+    """Round-robins a workload through a processor (one call = one query)."""
+
+    def __init__(self, processor, queries, algorithm="stps"):
+        self.processor = processor
+        self.algorithm = algorithm
+        self._cycle = itertools.cycle(queries)
+        # Warm the buffer pool once so timings reflect steady state.
+        self.processor.query(queries[0], algorithm=algorithm)
+
+    def __call__(self):
+        return self.processor.query(next(self._cycle), algorithm=self.algorithm)
+
+
+def make_runner(
+    ctx: BenchContext,
+    index: str,
+    algorithm: str = "stps",
+    variant: Variant = Variant.RANGE,
+    dataset: str = "synthetic",
+    n_queries: int = 8,
+    **workload_kw,
+) -> QueryRunner:
+    if dataset == "real":
+        feature_sets = ctx.real().feature_sets
+        processor = ctx.real_processor(index)
+    else:
+        build_kw = {
+            key: workload_kw.pop(key)
+            for key in ("c", "n_obj", "n_feat", "vocab")
+            if key in workload_kw
+        }
+        feature_sets = ctx.feature_sets(
+            c=build_kw.get("c"),
+            n=build_kw.get("n_feat"),
+            vocab=build_kw.get("vocab"),
+        )
+        processor = ctx.synthetic_processor(index, **build_kw)
+    queries = ctx.workload(
+        feature_sets, variant=variant, n_queries=n_queries, **workload_kw
+    )
+    return QueryRunner(processor, queries, algorithm)

@@ -1,0 +1,4 @@
+"""Setup shim so `setup.py develop` works offline (no wheel available)."""
+from setuptools import setup
+
+setup()

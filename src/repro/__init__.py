@@ -1,0 +1,46 @@
+"""repro — reproduction of "On Processing Top-k Spatio-Textual Preference
+Queries" (Tsatsanifos & Vlachou, EDBT 2015).
+
+Public API highlights:
+
+* :class:`~repro.core.processor.QueryProcessor` — build indexes and run
+  queries (STPS / STDS, range / influence / nearest-neighbor variants);
+* :class:`~repro.core.query.PreferenceQuery` — query definition;
+* :class:`~repro.index.srt.SRTIndex` / :class:`~repro.index.ir2.IR2Tree`
+  — the paper's index and the baseline;
+* :mod:`repro.data` — synthetic and real-like dataset generators;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult, QueryStats, ResultItem
+from repro.errors import ReproError
+from repro.index.ir2 import IR2Tree
+from repro.index.object_rtree import ObjectRTree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataObject",
+    "FeatureDataset",
+    "FeatureObject",
+    "IR2Tree",
+    "ObjectDataset",
+    "ObjectRTree",
+    "PreferenceQuery",
+    "QueryProcessor",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "ResultItem",
+    "SRTIndex",
+    "Variant",
+    "Vocabulary",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment registry, measurement, reporting."""
+
+from repro.bench.charts import render_chart
+from repro.bench.config import BenchConfig
+from repro.bench.context import BenchContext
+from repro.bench.experiments import (
+    GROUPS,
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    resolve,
+)
+from repro.bench.shapes import ShapeCheck, format_checks, validate
+from repro.bench.tables import format_result, result_to_csv
+from repro.bench.timing import Measurement, measure
+
+__all__ = [
+    "BenchConfig",
+    "BenchContext",
+    "Experiment",
+    "ExperimentResult",
+    "GROUPS",
+    "Measurement",
+    "REGISTRY",
+    "format_result",
+    "render_chart",
+    "measure",
+    "resolve",
+    "result_to_csv",
+    "ShapeCheck",
+    "validate",
+    "format_checks",
+]

@@ -1,0 +1,70 @@
+"""ASCII stacked-bar charts mirroring the paper's figures.
+
+The paper plots per-query execution time as stacked bars: a dark segment
+for I/O time, a white segment for CPU time, and (for the NN variant,
+Figures 13-14) striped segments for the Voronoi-cell work.  This module
+renders the same bars in text:
+
+    █  simulated I/O time
+    ░  CPU time
+    ▓  Voronoi-cell share (I/O + CPU), overlaid at the bar's end
+
+so `repro-bench --chart` output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.timing import Measurement
+
+BAR_WIDTH = 44
+IO_CHAR = "█"
+CPU_CHAR = "░"
+VORONOI_CHAR = "▓"
+
+
+def render_chart(result: ExperimentResult, width: int = BAR_WIDTH) -> str:
+    """One bar per (x value, series), scaled to the panel's maximum."""
+    peak = max(
+        (m.total_ms for ms in result.series.values() for m in ms),
+        default=0.0,
+    )
+    lines = [
+        f"{result.experiment_id}: {result.title}",
+        f"(reproduces {result.paper_ref}; {IO_CHAR}=I/O {CPU_CHAR}=CPU"
+        f" {VORONOI_CHAR}=Voronoi share)",
+        "",
+    ]
+    label_width = max((len(label) for label in result.series), default=0)
+    x_width = max((len(str(x)) for x in result.x_values), default=0)
+    x_width = max(x_width, len(result.x_label))
+    lines.append(f"{result.x_label:>{x_width}}")
+    for i, x in enumerate(result.x_values):
+        for j, (label, measurements) in enumerate(result.series.items()):
+            m = measurements[i]
+            bar = _bar(m, peak, width)
+            x_cell = str(x) if j == 0 else ""
+            lines.append(
+                f"{x_cell:>{x_width}}  {label:<{label_width}}  {bar}"
+                f" {m.total_ms:9.1f}ms"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _bar(m: Measurement, peak: float, width: int) -> str:
+    if peak <= 0.0:
+        return ""
+    total_cells = round(m.total_ms / peak * width)
+    if m.total_ms > 0 and total_cells == 0:
+        total_cells = 1
+    io_cells = round(m.io_ms / peak * width)
+    io_cells = min(io_cells, total_cells)
+    cpu_cells = total_cells - io_cells
+    bar = IO_CHAR * io_cells + CPU_CHAR * cpu_cells
+    # Overlay the Voronoi share (I/O + CPU attributed to cell building)
+    # at the tail of the bar, as the paper's striped segments.
+    voronoi_cells = min(round(m.voronoi_ms / peak * width), total_cells)
+    if voronoi_cells > 0:
+        bar = bar[:-voronoi_cells] + VORONOI_CHAR * voronoi_cells
+    return bar.ljust(width)

@@ -1,0 +1,123 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    repro-bench --list
+    repro-bench fig7a fig8
+    repro-bench table3 --scale quick
+    repro-bench all --scale default --csv-dir out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.config import BenchConfig
+from repro.bench.context import BenchContext
+from repro.bench.experiments import GROUPS, REGISTRY, resolve
+from repro.bench.charts import render_chart
+from repro.bench.shapes import format_checks, validate, validate_cross
+from repro.bench.tables import format_result, result_to_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'On Processing Top-k "
+            "Spatio-Textual Preference Queries' (EDBT 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig7a) or groups (fig7, table3, all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "paper"],
+        default=os.environ.get("REPRO_BENCH_SCALE", "default"),
+        help="parameter grid scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render paper-style stacked bars instead of tables",
+    )
+    parser.add_argument(
+        "--check-shapes",
+        action="store_true",
+        help="validate the paper's qualitative claims against the results",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        help="also write one CSV per experiment into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("experiments:")
+        for experiment_id, experiment in sorted(REGISTRY.items()):
+            print(f"  {experiment_id:18s} {experiment.title}")
+        print("groups:")
+        for group, members in sorted(GROUPS.items()):
+            print(f"  {group:18s} {len(members)} experiments")
+        return 0
+
+    cfg = {
+        "quick": BenchConfig.quick,
+        "default": BenchConfig.default,
+        "paper": BenchConfig.paper,
+    }[args.scale]()
+    ctx = BenchContext(cfg)
+
+    try:
+        experiments = resolve(args.experiments)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    all_results = {}
+    for experiment in experiments:
+        started = time.perf_counter()
+        result = experiment.run(ctx)
+        all_results[result.experiment_id] = result
+        elapsed = time.perf_counter() - started
+        if args.chart:
+            print(render_chart(result))
+        else:
+            print(format_result(result))
+        if args.check_shapes:
+            checks = validate(result)
+            if checks:
+                print(format_checks(checks))
+        print(f"   [harness time: {elapsed:.1f}s at scale={args.scale}]")
+        print()
+        if args.csv_dir:
+            path = os.path.join(args.csv_dir, f"{result.experiment_id}.csv")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(result_to_csv(result))
+            print(f"   wrote {path}")
+    if args.check_shapes:
+        cross = validate_cross(all_results)
+        if cross:
+            print("cross-experiment claims:")
+            print(format_checks(cross))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Benchmark context: cached datasets, indexes and workloads.
+
+Index construction dominates harness runtime (a 50K-feature SRT build is
+far slower than the queries it serves), so the context memoizes datasets
+and built processors by their full parameter tuple; sweeps that revisit
+the default setting reuse the same build, as the paper's own harness
+would.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.data.realworld import RealWorldData, real_world
+from repro.data.synthetic import (
+    make_vocabulary,
+    synthetic_feature_sets,
+    synthetic_objects,
+)
+from repro.data.workload import WorkloadSpec, make_workload
+from repro.model.dataset import FeatureDataset, ObjectDataset
+
+
+class BenchContext:
+    """Caches everything the experiments build."""
+
+    def __init__(self, cfg: BenchConfig) -> None:
+        self.cfg = cfg
+        self._objects: dict = {}
+        self._feature_sets: dict = {}
+        self._processors: dict = {}
+        self._real: RealWorldData | None = None
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def objects(self, n: int | None = None) -> ObjectDataset:
+        n = n if n is not None else self.cfg.object_cardinality
+        if n not in self._objects:
+            self._objects[n] = synthetic_objects(n, seed=self.cfg.seed)
+        return self._objects[n]
+
+    def feature_sets(
+        self,
+        c: int | None = None,
+        n: int | None = None,
+        vocab: int | None = None,
+    ) -> list[FeatureDataset]:
+        c = c if c is not None else self.cfg.c
+        n = n if n is not None else self.cfg.feature_cardinality
+        vocab = vocab if vocab is not None else self.cfg.vocab_size
+        key = (c, n, vocab)
+        if key not in self._feature_sets:
+            self._feature_sets[key] = synthetic_feature_sets(
+                c, n, make_vocabulary(vocab), seed=self.cfg.seed + 1
+            )
+        return self._feature_sets[key]
+
+    def real(self) -> RealWorldData:
+        if self._real is None:
+            self._real = real_world(self.cfg.real_scale, seed=self.cfg.seed + 7)
+        return self._real
+
+    # ------------------------------------------------------------------
+    # processors
+    # ------------------------------------------------------------------
+    def synthetic_processor(
+        self,
+        index: str,
+        c: int | None = None,
+        n_obj: int | None = None,
+        n_feat: int | None = None,
+        vocab: int | None = None,
+    ) -> QueryProcessor:
+        key = ("synthetic", index, c, n_obj, n_feat, vocab)
+        if key not in self._processors:
+            self._processors[key] = QueryProcessor.build(
+                self.objects(n_obj),
+                self.feature_sets(c, n_feat, vocab),
+                index=index,
+                page_size=self.cfg.page_size,
+                buffer_pages=self.cfg.buffer_pages,
+            )
+        return self._processors[key]
+
+    def real_processor(self, index: str) -> QueryProcessor:
+        key = ("real", index)
+        if key not in self._processors:
+            data = self.real()
+            self._processors[key] = QueryProcessor.build(
+                data.hotels,
+                data.feature_sets,
+                index=index,
+                page_size=self.cfg.page_size,
+                buffer_pages=self.cfg.buffer_pages,
+            )
+        return self._processors[key]
+
+    # ------------------------------------------------------------------
+    # workloads
+    # ------------------------------------------------------------------
+    def workload(
+        self,
+        feature_sets: list[FeatureDataset],
+        variant: Variant = Variant.RANGE,
+        n_queries: int | None = None,
+        radius: float | None = None,
+        k: int | None = None,
+        lam: float | None = None,
+        keywords_per_set: int | None = None,
+    ) -> list[PreferenceQuery]:
+        cfg = self.cfg
+        spec = WorkloadSpec(
+            n_queries=n_queries if n_queries is not None else cfg.queries_per_point,
+            k=k if k is not None else cfg.k,
+            radius=radius if radius is not None else cfg.radius,
+            lam=lam if lam is not None else cfg.lam,
+            keywords_per_set=(
+                keywords_per_set
+                if keywords_per_set is not None
+                else cfg.keywords_per_set
+            ),
+            variant=variant,
+            seed=cfg.seed + 42,
+        )
+        return make_workload(feature_sets, spec)

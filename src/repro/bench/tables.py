@@ -1,0 +1,140 @@
+"""Text and CSV rendering of experiment results.
+
+``format_result`` prints the same rows/series the paper's tables and bar
+charts report: one row per x-value, one column group per series, each
+cell showing total time with its I/O + CPU split (the paper's dark/white
+bar segments) and, for the NN variant, the separately-tracked Voronoi
+cost (the striped segments of Figures 13-14).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.timing import Measurement
+
+
+def _fmt_cell(m: Measurement, show_voronoi: bool) -> str:
+    cell = f"{m.total_ms:9.1f}ms (io {m.io_ms:7.1f} + cpu {m.cpu_ms:7.1f})"
+    if show_voronoi and m.voronoi_ms > 0:
+        cell += f" [voronoi {m.voronoi_ms:7.1f}]"
+    return cell
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Human-readable table for one experiment."""
+    lines = [
+        f"== {result.experiment_id}: {result.title}",
+        f"   (reproduces {result.paper_ref}; times are per-query averages)",
+    ]
+    show_voronoi = any(
+        m.voronoi_ms > 0 for ms in result.series.values() for m in ms
+    )
+    width = max(len(str(x)) for x in result.x_values)
+    width = max(width, len(result.x_label))
+    for label in result.series:
+        lines.append(f"   series: {label}")
+    header = f"   {result.x_label:>{width}}"
+    lines.append("")
+    lines.append(header + "".join(f" | {label:^42}" for label in result.series))
+    for i, x in enumerate(result.x_values):
+        row = f"   {str(x):>{width}}"
+        for label, measurements in result.series.items():
+            row += " | " + _fmt_cell(measurements[i], show_voronoi)
+        lines.append(row)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def result_from_csv(text: str) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_csv`
+    output (used to re-validate shape claims on saved runs)."""
+    rows = list(csv.DictReader(io.StringIO(text)))
+    if not rows:
+        raise ValueError("empty result CSV")
+    first = rows[0]
+    x_values: list = []
+    series: dict[str, list[Measurement]] = {}
+    for row in rows:
+        x: object = row["x"]
+        try:
+            x = int(x)  # type: ignore[assignment]
+        except ValueError:
+            try:
+                x = float(x)  # type: ignore[assignment]
+            except ValueError:
+                pass
+        if x not in x_values:
+            x_values.append(x)
+        series.setdefault(row["series"], []).append(
+            Measurement(
+                queries=int(row["queries"]),
+                total_ms=float(row["total_ms"]),
+                cpu_ms=float(row["cpu_ms"]),
+                io_ms=float(row["io_ms"]),
+                io_reads=float(row["io_reads"]),
+                buffer_hits=float(row["buffer_hits"]),
+                combinations=float(row["combinations"]),
+                voronoi_ms=float(row["voronoi_ms"]),
+                voronoi_io_reads=float(row["voronoi_io_reads"]),
+                total_ms_std=float(row.get("total_ms_std", 0.0) or 0.0),
+            )
+        )
+    result = ExperimentResult(
+        first["experiment"],
+        first["experiment"],
+        first["paper_ref"],
+        first["x_label"],
+        x_values,
+    )
+    result.series = series
+    return result
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """CSV export: one row per (x, series) pair with all counters."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "experiment",
+            "paper_ref",
+            "x_label",
+            "x",
+            "series",
+            "queries",
+            "total_ms",
+            "cpu_ms",
+            "io_ms",
+            "io_reads",
+            "buffer_hits",
+            "combinations",
+            "voronoi_ms",
+            "voronoi_io_reads",
+            "total_ms_std",
+        ]
+    )
+    for label, measurements in result.series.items():
+        for x, m in zip(result.x_values, measurements):
+            writer.writerow(
+                [
+                    result.experiment_id,
+                    result.paper_ref,
+                    result.x_label,
+                    x,
+                    label,
+                    m.queries,
+                    f"{m.total_ms:.3f}",
+                    f"{m.cpu_ms:.3f}",
+                    f"{m.io_ms:.3f}",
+                    f"{m.io_reads:.1f}",
+                    f"{m.buffer_hits:.1f}",
+                    f"{m.combinations:.1f}",
+                    f"{m.voronoi_ms:.3f}",
+                    f"{m.voronoi_io_reads:.1f}",
+                    f"{m.total_ms_std:.3f}",
+                ]
+            )
+    return buffer.getvalue()

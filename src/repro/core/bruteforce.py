@@ -1,0 +1,90 @@
+"""Brute-force reference implementation, straight from the definitions.
+
+Computes ``τ(p)`` for every data object with nested loops over the raw
+datasets — no indexes, no pruning.  Quadratic and only meant as the
+correctness oracle for the tests and as a sanity baseline in examples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult, QueryStats, rank_items
+from repro.errors import QueryError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.text.similarity import jaccard
+
+
+def brute_force(
+    objects: ObjectDataset,
+    feature_sets: Sequence[FeatureDataset],
+    query: PreferenceQuery,
+) -> QueryResult:
+    """Top-k by exhaustive evaluation of the chosen score variant."""
+    if len(feature_sets) != query.c:
+        raise QueryError(
+            f"query addresses {query.c} feature sets, got {len(feature_sets)}"
+        )
+    candidates = [
+        (
+            object_score(p.x, p.y, feature_sets, query),
+            p.oid,
+            p.x,
+            p.y,
+        )
+        for p in objects
+    ]
+    return QueryResult(rank_items(candidates, query.k), QueryStats())
+
+
+def object_score(
+    x: float,
+    y: float,
+    feature_sets: Sequence[FeatureDataset],
+    query: PreferenceQuery,
+) -> float:
+    """``τ(p)`` for a location, by definition (Definitions 2, 3, 6, 7)."""
+    return sum(
+        component_score(x, y, fs, mask, query)
+        for fs, mask in zip(feature_sets, query.keyword_masks)
+    )
+
+
+def component_score(
+    x: float,
+    y: float,
+    feature_set: FeatureDataset,
+    mask: int,
+    query: PreferenceQuery,
+) -> float:
+    """``τ_i(p)`` for one feature set, by definition."""
+    lam = query.lam
+    best = 0.0
+    if query.variant is Variant.NEAREST:
+        nearest_d = math.inf
+        nearest_score = 0.0
+        for t in feature_set:
+            t_mask = t.keyword_mask()
+            if (t_mask & mask) == 0:
+                continue
+            d = math.hypot(t.x - x, t.y - y)
+            if d < nearest_d or (d == nearest_d and False):
+                nearest_d = d
+                nearest_score = (1.0 - lam) * t.score + lam * jaccard(t_mask, mask)
+        return nearest_score
+    for t in feature_set:
+        t_mask = t.keyword_mask()
+        if (t_mask & mask) == 0:
+            continue
+        d = math.hypot(t.x - x, t.y - y)
+        s = (1.0 - lam) * t.score + lam * jaccard(t_mask, mask)
+        if query.variant is Variant.RANGE:
+            if d <= query.radius and s > best:
+                best = s
+        else:  # influence
+            value = s * 2.0 ** (-d / query.radius)
+            if value > best:
+                best = value
+    return best

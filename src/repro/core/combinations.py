@@ -1,0 +1,227 @@
+"""Valid-combination retrieval — the heart of STPS (Section 6, Alg. 4).
+
+Yields combinations ``C = (t_1, ..., t_c)``, one feature (or the virtual
+``∅``) per feature set, in non-increasing combined score ``s(C) = Σ s(t_i)``,
+pulling features from the per-set sorted streams only as needed:
+
+* **thresholding scheme** — a combination is released only once its score
+  reaches ``τ = max_j (max_1 + ... + min_j + ... + max_c)``, the best
+  score any not-yet-formed combination could achieve (``max_l`` = best
+  score in set ``l``, ``min_j`` = best score still obtainable from set
+  ``j``'s stream);
+* **pulling strategy** — either the paper's *prioritized* strategy
+  (Definition 5: pull from the set responsible for the current threshold)
+  or plain round-robin (the paper's "simple alternative", kept as an
+  ablation);
+* **validity** — for the range variant, combinations whose real members
+  are pairwise farther than ``2r`` apart are discarded (Definition 4 /
+  Lemma 1); the influence and NN variants disable that filter
+  (``enforce_2r=False``), as Section 7 prescribes.
+
+Combinations over the already-pulled features are enumerated lazily over
+the product lattice of the per-set sorted lists (seed ``(0,...,0)``, pop a
+tuple, push its ``c`` single-increment successors).  This produces exactly
+the non-increasing score order of the paper's eager ``validCombinations``
+while keeping the candidate heap linear in the number of pops.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.query import PreferenceQuery
+from repro.core.stream import FeatureStream, StreamedFeature
+from repro.errors import QueryError
+from repro.index.feature_tree import FeatureTree
+
+_EPS = 1e-12
+
+PULL_PRIORITIZED = "prioritized"
+PULL_ROUND_ROBIN = "round_robin"
+
+
+@dataclass(frozen=True, slots=True)
+class Combination:
+    """A combination of feature objects with its combined score."""
+
+    features: tuple[StreamedFeature, ...]
+    score: float
+
+    @property
+    def anchors(self) -> tuple[tuple[float, float], ...]:
+        """Locations of the real (non-virtual) members."""
+        return tuple(
+            (f.x, f.y) for f in self.features if not f.is_virtual
+        )
+
+    @property
+    def is_all_virtual(self) -> bool:
+        return all(f.is_virtual for f in self.features)
+
+
+class CombinationIterator:
+    """Iterator over combinations in non-increasing score order."""
+
+    def __init__(
+        self,
+        feature_trees: Sequence[FeatureTree],
+        query: PreferenceQuery,
+        enforce_2r: bool = True,
+        pulling: str = PULL_PRIORITIZED,
+    ) -> None:
+        if len(feature_trees) != query.c:
+            raise QueryError(
+                f"query addresses {query.c} feature sets, got "
+                f"{len(feature_trees)} trees"
+            )
+        if pulling not in (PULL_PRIORITIZED, PULL_ROUND_ROBIN):
+            raise QueryError(f"unknown pulling strategy {pulling!r}")
+        self.query = query
+        self.enforce_2r = enforce_2r
+        self.pulling = pulling
+        self.c = query.c
+        self.streams = [
+            FeatureStream(tree, mask, query.lam)
+            for tree, mask in zip(feature_trees, query.keyword_masks)
+        ]
+        self.pulled: list[list[StreamedFeature]] = [[] for _ in range(self.c)]
+        # Upper bound of each set's best score; tightened to the exact max
+        # on the first pull (the paper sets max_i at first access).
+        self.set_max: list[float] = [
+            s.next_bound if s.next_bound is not None else 0.0
+            for s in self.streams
+        ]
+        self._heap: list[tuple[float, int, tuple[int, ...]]] = []
+        self._submitted: set[tuple[int, ...]] = set()
+        self._blocked: list[list[tuple[int, ...]]] = [[] for _ in range(self.c)]
+        self._counter = 0
+        self._rr_next = 0
+        self.combinations_released = 0
+        # Seed: one pull per set guarantees every list is non-empty (a
+        # stream always yields at least the virtual feature).
+        for i in range(self.c):
+            self._pull(i)
+        self._submit(tuple([0] * self.c))
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def next(self) -> Combination | None:
+        """Next combination by descending score, or None when done."""
+        while True:
+            threshold = self._threshold()
+            if self._heap and -self._heap[0][0] >= threshold - _EPS:
+                _, _, idx = heapq.heappop(self._heap)
+                self._expand(idx)
+                combo = self._materialize(idx)
+                if self._valid(combo):
+                    self.combinations_released += 1
+                    return combo
+                continue
+            pull_from = self._next_feature_set()
+            if pull_from is None:
+                if self._heap:
+                    continue  # threshold is -inf now; drain the heap
+                return None
+            self._pull(pull_from)
+
+    @property
+    def features_pulled(self) -> int:
+        """Real features retrieved from the streams so far."""
+        return sum(s.pulled for s in self.streams)
+
+    # ------------------------------------------------------------------
+    # thresholding scheme
+    # ------------------------------------------------------------------
+    def _threshold(self) -> float:
+        """Best score of any combination not yet formable (τ of Alg. 4)."""
+        best = -math.inf
+        total_max = sum(self.set_max)
+        for j, stream in enumerate(self.streams):
+            bound = stream.next_bound
+            if bound is None:
+                continue
+            candidate = total_max - self.set_max[j] + bound
+            if candidate > best:
+                best = candidate
+        return best
+
+    def _next_feature_set(self) -> int | None:
+        """Which stream to pull from next (Definition 5 or round-robin)."""
+        pullable = [
+            j for j, s in enumerate(self.streams) if s.next_bound is not None
+        ]
+        if not pullable:
+            return None
+        if self.pulling == PULL_ROUND_ROBIN:
+            for _ in range(self.c):
+                j = self._rr_next % self.c
+                self._rr_next += 1
+                if j in pullable:
+                    return j
+            return pullable[0]
+        # Prioritized: the set responsible for the current threshold.
+        total_max = sum(self.set_max)
+        return max(
+            pullable,
+            key=lambda j: total_max - self.set_max[j] + self.streams[j].next_bound,
+        )
+
+    # ------------------------------------------------------------------
+    # lattice enumeration
+    # ------------------------------------------------------------------
+    def _pull(self, i: int) -> bool:
+        feature = self.streams[i].next()
+        if feature is None:
+            return False
+        if not self.pulled[i]:
+            self.set_max[i] = feature.score
+        self.pulled[i].append(feature)
+        ready = self._blocked[i]
+        self._blocked[i] = []
+        for idx in ready:
+            self._push(idx)
+        return True
+
+    def _submit(self, idx: tuple[int, ...]) -> None:
+        if idx in self._submitted:
+            return
+        self._submitted.add(idx)
+        for j in range(self.c):
+            if idx[j] >= len(self.pulled[j]):
+                # At most one coordinate can be ahead (successors advance
+                # one coordinate at a time); park until that list grows.
+                self._blocked[j].append(idx)
+                return
+        self._push(idx)
+
+    def _push(self, idx: tuple[int, ...]) -> None:
+        score = sum(self.pulled[j][idx[j]].score for j in range(self.c))
+        self._counter += 1
+        heapq.heappush(self._heap, (-score, self._counter, idx))
+
+    def _expand(self, idx: tuple[int, ...]) -> None:
+        for j in range(self.c):
+            if self.pulled[j][idx[j]].is_virtual:
+                continue  # nothing ranks below the virtual feature
+            successor = idx[:j] + (idx[j] + 1,) + idx[j + 1 :]
+            self._submit(successor)
+
+    def _materialize(self, idx: tuple[int, ...]) -> Combination:
+        features = tuple(self.pulled[j][idx[j]] for j in range(self.c))
+        score = sum(f.score for f in features)
+        return Combination(features, score)
+
+    def _valid(self, combo: Combination) -> bool:
+        if not self.enforce_2r:
+            return True
+        diameter = 2.0 * self.query.radius
+        real = [f for f in combo.features if not f.is_virtual]
+        for a, b in itertools.combinations(real, 2):
+            if math.hypot(a.x - b.x, a.y - b.y) > diameter:
+                return False
+        return True

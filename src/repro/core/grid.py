@@ -1,0 +1,107 @@
+"""Uniform spatial grid for the batched STDS score computation.
+
+The batched variant of Algorithm 2 ("Performance improvements",
+Section 5) expands an index entry when *at least one* pending data object
+is within range, and assigns scores to every in-range pending object when
+a feature pops.  Both tests need "which pending objects are near this
+rectangle/point" — a uniform grid with cell size ``r`` answers them in
+expected O(1) per candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.geometry.rect import Rect
+
+
+class SpatialGrid:
+    """Hash grid of points in the unit square, keyed by integer cells."""
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0.0:
+            raise QueryError(f"cell size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, int], dict[int, tuple[float, float]]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def insert(self, oid: int, x: float, y: float) -> None:
+        """Add a point (ids must be unique; re-insertion is an error)."""
+        cell = self._cell_of(x, y)
+        bucket = self._cells.setdefault(cell, {})
+        if oid in bucket:
+            raise QueryError(f"object {oid} already in grid")
+        bucket[oid] = (x, y)
+        self._count += 1
+
+    def remove(self, oid: int, x: float, y: float) -> None:
+        """Remove a previously inserted point."""
+        cell = self._cell_of(x, y)
+        bucket = self._cells.get(cell)
+        if bucket is None or oid not in bucket:
+            raise QueryError(f"object {oid} not in grid")
+        del bucket[oid]
+        if not bucket:
+            del self._cells[cell]
+        self._count -= 1
+
+    def bulk_insert(self, points: Iterable[tuple[int, float, float]]) -> None:
+        for oid, x, y in points:
+            self.insert(oid, x, y)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def near_rect(
+        self, rect: Rect, radius: float
+    ) -> Iterator[tuple[int, float, float]]:
+        """Points whose distance to ``rect`` is at most ``radius``."""
+        expanded = Rect(
+            (rect.low[0] - radius, rect.low[1] - radius),
+            (rect.high[0] + radius, rect.high[1] + radius),
+        )
+        for oid, x, y in self._candidates(expanded):
+            if rect.mindist((x, y)) <= radius:
+                yield oid, x, y
+
+    def any_near_rect(self, rect: Rect, radius: float) -> bool:
+        """True when at least one point is within ``radius`` of ``rect``."""
+        for _ in self.near_rect(rect, radius):
+            return True
+        return False
+
+    def near_point(
+        self, x: float, y: float, radius: float
+    ) -> Iterator[tuple[int, float, float]]:
+        """Points within Euclidean ``radius`` of ``(x, y)``."""
+        expanded = Rect((x - radius, y - radius), (x + radius, y + radius))
+        r2 = radius * radius
+        for oid, px, py in self._candidates(expanded):
+            if (px - x) ** 2 + (py - y) ** 2 <= r2:
+                yield oid, px, py
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
+
+    def _candidates(self, rect: Rect) -> Iterator[tuple[int, float, float]]:
+        cx0, cy0 = self._cell_of(rect.low[0], rect.low[1])
+        cx1, cy1 = self._cell_of(rect.high[0], rect.high[1])
+        cells = self._cells
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                bucket = cells.get((cx, cy))
+                if bucket:
+                    for oid, (x, y) in list(bucket.items()):
+                        yield oid, x, y

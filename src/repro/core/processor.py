@@ -1,0 +1,158 @@
+"""Unified query processor — the library's main entry point.
+
+Couples one object R-tree with one feature index per feature set and
+dispatches a :class:`~repro.core.query.PreferenceQuery` to the right
+algorithm/variant implementation (the "unified framework" of Section 7).
+
+Typical use::
+
+    processor = QueryProcessor.build(objects, [restaurants, cafes])
+    result = processor.query(
+        PreferenceQuery.from_terms(
+            k=10, radius=0.01, lam=0.5,
+            keywords=[["italian", "pizza"], ["espresso", "muffins"]],
+            feature_sets=[restaurants, cafes],
+        )
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.combinations import PULL_PRIORITIZED
+from repro.core.influence import stps_influence
+from repro.core.nearest import stps_nearest
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult
+from repro.core.stds import stds
+from repro.core.stps import stps
+from repro.errors import QueryError
+from repro.index.feature_tree import FeatureTree
+from repro.index.ir2 import IR2Tree
+from repro.index.irtree import IRTree
+from repro.index.object_rtree import ObjectRTree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset, ObjectDataset
+
+ALGORITHM_STPS = "stps"
+ALGORITHM_STDS = "stds"
+ALGORITHM_ISS = "iss"
+
+INDEX_CLASSES = {"srt": SRTIndex, "ir2": IR2Tree, "irtree": IRTree}
+
+
+class QueryProcessor:
+    """Runs preference queries over a fixed set of indexes."""
+
+    def __init__(
+        self,
+        object_tree: ObjectRTree,
+        feature_trees: Sequence[FeatureTree],
+    ) -> None:
+        if not feature_trees:
+            raise QueryError("need at least one feature index")
+        self.object_tree = object_tree
+        self.feature_trees = list(feature_trees)
+
+    @classmethod
+    def build(
+        cls,
+        objects: ObjectDataset,
+        feature_sets: Sequence[FeatureDataset],
+        index: str = "srt",
+        page_size: int = 4096,
+        buffer_pages: int = 256,
+        method: str = "bulk",
+    ) -> "QueryProcessor":
+        """Build all indexes from raw datasets.
+
+        ``index`` selects the feature index: ``"srt"`` (the paper's
+        SRT-index, default), ``"ir2"`` (the modified IR²-tree baseline)
+        or ``"irtree"`` (IR-tree-style extension baseline: spatial
+        clustering with exact summaries).
+        """
+        if index not in INDEX_CLASSES:
+            raise QueryError(
+                f"unknown index {index!r}; choose from {sorted(INDEX_CLASSES)}"
+            )
+        from repro.storage.pagefile import MemoryPageFile
+
+        object_tree = ObjectRTree.build(
+            objects,
+            pagefile=MemoryPageFile(page_size),
+            buffer_pages=buffer_pages,
+            method="hilbert" if method == "bulk" else method,
+        )
+        tree_cls = INDEX_CLASSES[index]
+        feature_trees = [
+            tree_cls.build(
+                fs,
+                pagefile=MemoryPageFile(page_size),
+                buffer_pages=buffer_pages,
+                method=method if method in ("bulk", "insert") else "bulk",
+            )
+            for fs in feature_sets
+        ]
+        return cls(object_tree, feature_trees)
+
+    def query(
+        self,
+        query: PreferenceQuery,
+        algorithm: str = ALGORITHM_STPS,
+        pulling: str = PULL_PRIORITIZED,
+    ) -> QueryResult:
+        """Execute a query with the chosen algorithm.
+
+        ``algorithm`` is ``"stps"`` (default), ``"stds"``, or ``"iss"``
+        (Influence Score Search, the combination-free extension algorithm
+        for the influence variant); the score variant comes from the
+        query itself.
+        """
+        if algorithm == ALGORITHM_STDS:
+            return stds(self.object_tree, self.feature_trees, query)
+        if algorithm == ALGORITHM_ISS:
+            from repro.core.influence_search import influence_search
+
+            return influence_search(
+                self.object_tree, self.feature_trees, query
+            )
+        if algorithm != ALGORITHM_STPS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; choose 'stps', 'stds' "
+                "or 'iss'"
+            )
+        if query.variant is Variant.RANGE:
+            return stps(self.object_tree, self.feature_trees, query, pulling)
+        if query.variant is Variant.INFLUENCE:
+            return stps_influence(
+                self.object_tree, self.feature_trees, query, pulling
+            )
+        return stps_nearest(self.object_tree, self.feature_trees, query, pulling)
+
+    def stream(
+        self,
+        query: PreferenceQuery,
+        pulling: str = PULL_PRIORITIZED,
+    ):
+        """Yield results in rank order, lazily (range / NN variants).
+
+        Unlike :meth:`query`, iteration is unbounded by ``k``: keep
+        consuming for "next page" semantics.  See
+        :mod:`repro.core.streaming`.
+        """
+        from repro.core.streaming import stps_stream
+
+        return stps_stream(self.object_tree, self.feature_trees, query, pulling)
+
+    def clear_buffers(self) -> None:
+        """Drop all cached pages and decoded nodes (cold-cache runs)."""
+        self.object_tree.clear_cache()
+        for tree in self.feature_trees:
+            tree.clear_cache()
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters of every index."""
+        self.object_tree.stats.reset()
+        for tree in self.feature_trees:
+            tree.stats.reset()

@@ -1,0 +1,333 @@
+"""Spatio-Textual Data Scan (STDS) — the paper's baseline (Section 5).
+
+Algorithm 1: scan every data object, compute its score ``τ_i(p)`` against
+each feature set with Algorithm 2, keep the top-k.  An upper bound
+``τ̂(p)`` (known partial scores + 1 per unknown set) lets the scan skip
+remaining feature sets once an object can no longer reach the top-k.
+
+Algorithm 2 (``compute_score``): best-first traversal of the feature
+index ordered by ``ŝ(e)``; prune entries out of range or textually
+irrelevant; the first feature object popped within range is the answer —
+the sorted access plus the upper-bound property make that maximal.
+
+The paper's evaluation uses the *batched* improvement (end of Section 5):
+one traversal per feature set serves a whole set of pending objects; an
+entry is expanded when at least one pending object is in range, and a
+popped feature resolves every pending object in its range.  We batch in
+chunks so Algorithm 1's threshold pruning still kicks in between chunks.
+
+Section 7 adaptations (influence / nearest-neighbor) re-prioritize the
+same traversal and drop the range predicate, exactly as described.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Sequence
+
+from repro.core.grid import SpatialGrid
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
+from repro.errors import QueryError
+from repro.index.feature_tree import FeatureTree
+from repro.index.nodes import FeatureLeafEntry
+from repro.index.object_rtree import ObjectRTree
+
+DEFAULT_BATCH_SIZE = 1024
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 and its variant adaptations: single-object score
+# ----------------------------------------------------------------------
+def compute_score(
+    tree: FeatureTree,
+    query: PreferenceQuery,
+    mask: int,
+    point: tuple[float, float],
+) -> float:
+    """``τ_i(p)`` for one object and one feature set (range variant)."""
+    scorer = tree.make_scorer(mask, query.lam)
+    radius = query.radius
+    heap: list[tuple[float, int, object]] = []
+    counter = 0
+
+    def push(entries, is_leaf: bool) -> None:
+        nonlocal counter
+        for e in entries:
+            if is_leaf:
+                if (
+                    scorer.leaf_relevant(e)
+                    and _dist(point, (e.x, e.y)) <= radius
+                ):
+                    counter += 1
+                    heapq.heappush(heap, (-scorer.leaf_score(e), counter, e))
+            else:
+                if scorer.node_relevant(e) and e.rect.mindist(point) <= radius:
+                    counter += 1
+                    heapq.heappush(heap, (-scorer.node_bound(e), counter, e))
+
+    if tree.root_id is None or tree.count == 0:
+        return 0.0
+    root = tree.read_node(tree.root_id)
+    push(root.entries, root.is_leaf)
+    while heap:
+        neg_bound, _, entry = heapq.heappop(heap)
+        if isinstance(entry, FeatureLeafEntry):
+            return -neg_bound
+        node = tree.read_node(entry.child)
+        push(node.entries, node.is_leaf)
+    return 0.0
+
+
+def compute_score_influence(
+    tree: FeatureTree,
+    query: PreferenceQuery,
+    mask: int,
+    point: tuple[float, float],
+) -> float:
+    """Influence ``τ_i(p)`` (Definition 6): no range cut-off, the
+    priority of each entry is its influence bound ``ŝ(e)·2^(-mindist/r)``."""
+    scorer = tree.make_scorer(mask, query.lam)
+    radius = query.radius
+    heap: list[tuple[float, int, object]] = []
+    counter = 0
+
+    def push(entries, is_leaf: bool) -> None:
+        nonlocal counter
+        for e in entries:
+            if not scorer.relevant(e):
+                continue
+            if is_leaf:
+                score = scorer.leaf_score(e) * 2.0 ** (
+                    -_dist(point, (e.x, e.y)) / radius
+                )
+            else:
+                score = scorer.node_bound(e) * 2.0 ** (
+                    -e.rect.mindist(point) / radius
+                )
+            counter += 1
+            heapq.heappush(heap, (-score, counter, e))
+
+    if tree.root_id is None or tree.count == 0:
+        return 0.0
+    root = tree.read_node(tree.root_id)
+    push(root.entries, root.is_leaf)
+    while heap:
+        neg_bound, _, entry = heapq.heappop(heap)
+        if isinstance(entry, FeatureLeafEntry):
+            return -neg_bound
+        node = tree.read_node(entry.child)
+        push(node.entries, node.is_leaf)
+    return 0.0
+
+
+def compute_score_nearest(
+    tree: FeatureTree,
+    query: PreferenceQuery,
+    mask: int,
+    point: tuple[float, float],
+) -> float:
+    """Nearest-neighbor ``τ_i(p)`` (Definition 7): the score of the
+    closest *relevant* feature — best-first by minimum distance with the
+    ``sim > 0`` pruning retained."""
+    scorer = tree.make_scorer(mask, query.lam)
+    heap: list[tuple[float, int, object]] = []
+    counter = 0
+
+    def push(entries, is_leaf: bool) -> None:
+        nonlocal counter
+        for e in entries:
+            if not scorer.relevant(e):
+                continue
+            d = (
+                _dist(point, (e.x, e.y))
+                if is_leaf
+                else e.rect.mindist(point)
+            )
+            counter += 1
+            heapq.heappush(heap, (d, counter, e))
+
+    if tree.root_id is None or tree.count == 0:
+        return 0.0
+    root = tree.read_node(tree.root_id)
+    push(root.entries, root.is_leaf)
+    while heap:
+        _, _, entry = heapq.heappop(heap)
+        if isinstance(entry, FeatureLeafEntry):
+            return scorer.leaf_score(entry)
+        node = tree.read_node(entry.child)
+        push(node.entries, node.is_leaf)
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# batched Algorithm 2 (range variant)
+# ----------------------------------------------------------------------
+def compute_scores_batch(
+    tree: FeatureTree,
+    query: PreferenceQuery,
+    mask: int,
+    pending: dict[int, tuple[float, float]],
+) -> dict[int, float]:
+    """``τ_i(p)`` for a batch of objects in one index traversal.
+
+    ``pending`` maps oid -> (x, y).  Returns oid -> score; objects with no
+    relevant in-range feature get 0.0.
+    """
+    scores = {oid: 0.0 for oid in pending}
+    if tree.root_id is None or tree.count == 0 or not pending:
+        return scores
+    radius = query.radius
+    scorer = tree.make_scorer(mask, query.lam)
+    grid = SpatialGrid(max(radius, 1e-6))
+    grid.bulk_insert((oid, x, y) for oid, (x, y) in pending.items())
+
+    heap: list[tuple[float, int, object]] = []
+    counter = 0
+
+    def push(entries, is_leaf: bool) -> None:
+        nonlocal counter
+        for e in entries:
+            if not scorer.relevant(e):
+                continue
+            counter += 1
+            if is_leaf:
+                heapq.heappush(heap, (-scorer.leaf_score(e), counter, e))
+            else:
+                heapq.heappush(heap, (-scorer.node_bound(e), counter, e))
+
+    root = tree.read_node(tree.root_id)
+    push(root.entries, root.is_leaf)
+    while heap and not grid.is_empty:
+        neg_bound, _, entry = heapq.heappop(heap)
+        if isinstance(entry, FeatureLeafEntry):
+            resolved = list(grid.near_point(entry.x, entry.y, radius))
+            for oid, x, y in resolved:
+                scores[oid] = -neg_bound
+                grid.remove(oid, x, y)
+        else:
+            # Expand only when some pending object is within range of the
+            # entry (the batched expansion rule of Section 5).
+            if grid.any_near_rect(entry.rect, radius):
+                node = tree.read_node(entry.child)
+                push(node.entries, node.is_leaf)
+    return scores
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1: the full scan
+# ----------------------------------------------------------------------
+def stds(
+    object_tree: ObjectRTree,
+    feature_trees: Sequence[FeatureTree],
+    query: PreferenceQuery,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> QueryResult:
+    """Run STDS for any score variant.
+
+    The range variant uses the batched score computation; the influence
+    and nearest-neighbor variants use the per-object adaptations of
+    Section 7 (they are evaluated in the paper only through STPS, but are
+    provided for completeness and as a correctness oracle).
+    """
+    if len(feature_trees) != query.c:
+        raise QueryError(
+            f"query addresses {query.c} feature sets, processor has "
+            f"{len(feature_trees)}"
+        )
+    tracker = StatsTracker(
+        [object_tree.pagefile] + [t.pagefile for t in feature_trees]
+    )
+    stats = QueryStats()
+
+    objects = [(e.oid, e.x, e.y) for e in object_tree.all_entries()]
+    stats.objects_scored = len(objects)
+
+    if query.variant is Variant.RANGE:
+        candidates = _stds_range_batched(
+            feature_trees, query, objects, batch_size
+        )
+    else:
+        candidates = _stds_per_object(feature_trees, query, objects)
+
+    result = QueryResult(rank_items(candidates, query.k), stats)
+    tracker.finish(stats)
+    return result
+
+
+def _stds_range_batched(
+    feature_trees: Sequence[FeatureTree],
+    query: PreferenceQuery,
+    objects: list[tuple[int, float, float]],
+    batch_size: int,
+) -> list[tuple[float, int, float, float]]:
+    top: list[tuple[float, int, float, float]] = []  # min-heap by score
+    threshold = -math.inf
+    candidates: list[tuple[float, int, float, float]] = []
+    c = query.c
+
+    for start in range(0, len(objects), batch_size):
+        chunk = objects[start : start + batch_size]
+        partial = {oid: 0.0 for oid, _, _ in chunk}
+        pending = {oid: (x, y) for oid, x, y in chunk}
+        for i, tree in enumerate(feature_trees):
+            if not pending:
+                break
+            scores = compute_scores_batch(
+                tree, query, query.keyword_masks[i], pending
+            )
+            remaining_sets = c - i - 1
+            survivors: dict[int, tuple[float, float]] = {}
+            for oid, loc in pending.items():
+                partial[oid] += scores[oid]
+                # τ̂(p): known partials + 1 per unknown set (Section 5).
+                if partial[oid] + remaining_sets > threshold:
+                    survivors[oid] = loc
+            pending = survivors
+        locations = {oid: (x, y) for oid, x, y in chunk}
+        for oid, score in partial.items():
+            x, y = locations[oid]
+            candidates.append((score, oid, x, y))
+            if len(top) < query.k:
+                heapq.heappush(top, (score, -oid))
+            elif score > top[0][0]:
+                heapq.heapreplace(top, (score, -oid))
+            if len(top) == query.k:
+                threshold = top[0][0]
+    return candidates
+
+
+def _stds_per_object(
+    feature_trees: Sequence[FeatureTree],
+    query: PreferenceQuery,
+    objects: list[tuple[int, float, float]],
+) -> list[tuple[float, int, float, float]]:
+    score_fn = {
+        Variant.INFLUENCE: compute_score_influence,
+        Variant.NEAREST: compute_score_nearest,
+        Variant.RANGE: compute_score,
+    }[query.variant]
+    threshold = -math.inf
+    top: list[tuple[float, int]] = []
+    candidates: list[tuple[float, int, float, float]] = []
+    c = query.c
+    for oid, x, y in objects:
+        total = 0.0
+        for i, tree in enumerate(feature_trees):
+            if total + (c - i) <= threshold:
+                break  # τ̂(p) can no longer reach the top-k
+            total += score_fn(tree, query, query.keyword_masks[i], (x, y))
+        else:
+            candidates.append((total, oid, x, y))
+            if len(top) < query.k:
+                heapq.heappush(top, (total, -oid))
+            elif total > top[0][0]:
+                heapq.heapreplace(top, (total, -oid))
+            if len(top) == query.k:
+                threshold = top[0][0]
+    return candidates
+
+
+def _dist(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,77 @@
+"""Spatio-Textual Preference Search (STPS) — range score (Section 6).
+
+Algorithm 3: repeatedly take the next best valid combination of feature
+objects (Algorithm 4, see :mod:`repro.core.combinations`) and fetch the
+data objects lying within distance ``r`` of *all* its real members from
+the object R-tree (Section 6.4).  Objects retrieved for the first time
+have a spatio-textual preference score exactly equal to the combination's
+score — so results stream out in rank order and the algorithm stops as
+soon as ``k`` objects have been produced, without ever scoring the rest
+of the dataset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.combinations import PULL_PRIORITIZED, CombinationIterator
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
+from repro.errors import QueryError
+from repro.index.feature_tree import FeatureTree
+from repro.index.object_rtree import ObjectRTree
+
+
+def stps(
+    object_tree: ObjectRTree,
+    feature_trees: Sequence[FeatureTree],
+    query: PreferenceQuery,
+    pulling: str = PULL_PRIORITIZED,
+) -> QueryResult:
+    """Run STPS for the range score variant (Definition 2)."""
+    if query.variant is not Variant.RANGE:
+        raise QueryError(
+            f"stps() handles the range variant; got {query.variant}. "
+            "Use stps_influence() / stps_nearest() or the QueryProcessor."
+        )
+    tracker = StatsTracker(
+        [object_tree.pagefile] + [t.pagefile for t in feature_trees]
+    )
+    stats = QueryStats()
+    iterator = CombinationIterator(
+        feature_trees, query, enforce_2r=True, pulling=pulling
+    )
+    seen: set[int] = set()
+    collected: list[tuple[float, int, float, float]] = []
+
+    while len(collected) < query.k:
+        combo = iterator.next()
+        if combo is None:
+            break
+        if combo.is_all_virtual:
+            # Score-0 tail: any remaining object qualifies; take the
+            # lowest ids for deterministic tie-breaking.
+            remaining = sorted(
+                (e.oid, e.x, e.y)
+                for e in object_tree.all_entries()
+                if e.oid not in seen
+            )
+            for oid, x, y in remaining[: query.k - len(collected)]:
+                seen.add(oid)
+                collected.append((0.0, oid, x, y))
+            break
+        batch = sorted(
+            (e for e in object_tree.within_all(combo.anchors, query.radius)
+             if e.oid not in seen),
+            key=lambda e: e.oid,
+        )
+        for e in batch:
+            seen.add(e.oid)
+            collected.append((combo.score, e.oid, e.x, e.y))
+
+    stats.combinations = iterator.combinations_released
+    stats.features_pulled = iterator.features_pulled
+    stats.objects_scored = len(collected)
+    result = QueryResult(rank_items(collected, query.k), stats)
+    tracker.finish(stats)
+    return result

@@ -1,0 +1,122 @@
+"""Sorted access to a feature index by decreasing preference score.
+
+Implements the per-feature-set retrieval of Algorithm 4 (lines 3-7): a
+best-first traversal of the spatio-textual index keyed on the node bound
+``ŝ(e)``, yielding feature objects in non-increasing ``s(t)`` order.
+Subtrees that cannot contain a relevant feature (``sim = 0``) are pruned.
+
+Per Section 6.3 the stream ends with the *virtual feature object* ``∅``
+(score 0, no location), which lets STPS form combinations in which a
+feature set contributes nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.index.feature_tree import FeatureScorer, FeatureTree
+from repro.index.nodes import FeatureLeafEntry
+
+
+@dataclass(frozen=True, slots=True)
+class StreamedFeature:
+    """A feature pulled from a stream, scored against the query.
+
+    ``is_virtual`` marks the paper's ``∅`` object: ``s(∅) = 0`` and it
+    imposes no distance constraint (``dist(·, ∅) = 0``).
+    """
+
+    fid: int
+    x: float
+    y: float
+    score: float
+    is_virtual: bool = False
+
+
+VIRTUAL_FID = -1
+
+
+def virtual_feature() -> StreamedFeature:
+    """The ``∅`` sentinel of Section 6.1."""
+    return StreamedFeature(VIRTUAL_FID, 0.0, 0.0, 0.0, is_virtual=True)
+
+
+class FeatureStream:
+    """Iterator over one feature set in decreasing ``s(t)`` order."""
+
+    def __init__(
+        self,
+        tree: FeatureTree,
+        query_mask: int,
+        lam: float,
+        emit_virtual: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.scorer: FeatureScorer = tree.make_scorer(query_mask, lam)
+        self._heap: list[tuple[float, int, object]] = []
+        self._counter = 0
+        self._virtual_pending = emit_virtual
+        self._exhausted = False
+        self.pulled = 0
+        if tree.root_id is not None and tree.count > 0:
+            root = tree.read_node(tree.root_id)
+            self._push_children(root)
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def next(self) -> StreamedFeature | None:
+        """The next feature by descending score; ``∅`` last; then None."""
+        while self._heap:
+            neg_bound, _, entry = heapq.heappop(self._heap)
+            if isinstance(entry, FeatureLeafEntry):
+                self.pulled += 1
+                return StreamedFeature(entry.fid, entry.x, entry.y, -neg_bound)
+            node = self.tree.read_node(entry.child)
+            self._push_children(node)
+        if self._virtual_pending:
+            self._virtual_pending = False
+            return virtual_feature()
+        self._exhausted = True
+        return None
+
+    @property
+    def next_bound(self) -> float | None:
+        """Best possible score of any not-yet-returned feature.
+
+        This is the ``min_i`` of the paper's thresholding scheme: the heap
+        top's bound while entries remain, ``0.0`` while only the virtual
+        feature is pending, and ``None`` once fully exhausted.
+        """
+        if self._heap:
+            return -self._heap[0][0]
+        if self._virtual_pending:
+            return 0.0
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once :meth:`next` has returned None."""
+        return self._exhausted or (not self._heap and not self._virtual_pending)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _push_children(self, node) -> None:
+        scorer = self.scorer
+        heap = self._heap
+        if node.is_leaf:
+            for entry in node.entries:
+                if scorer.leaf_relevant(entry):
+                    self._counter += 1
+                    heapq.heappush(
+                        heap, (-scorer.leaf_score(entry), self._counter, entry)
+                    )
+        else:
+            for entry in node.entries:
+                if scorer.node_relevant(entry):
+                    self._counter += 1
+                    heapq.heappush(
+                        heap, (-scorer.node_bound(entry), self._counter, entry)
+                    )

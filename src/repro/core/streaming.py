@@ -1,0 +1,135 @@
+"""Incremental (streaming) result delivery for STPS.
+
+Section 6.2: "the remaining data objects p have a score τ(p) = s(C) and
+can be returned to the user incrementally."  This module exposes exactly
+that: a generator that yields ranked results one by one, reading no more
+of the indexes than needed for the results actually consumed — useful
+for pagination ("show 10 more") without re-running the query.
+
+Supported for the range and nearest-neighbor variants, whose combination
+order delivers exact final scores immediately.  The influence variant is
+not streamable this way (an object's score can improve when later
+combinations are examined), so it raises :class:`QueryError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.combinations import PULL_PRIORITIZED, CombinationIterator
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import ResultItem
+from repro.core.voronoi import DATA_SPACE, clip_voronoi_cell
+from repro.errors import QueryError
+from repro.geometry.polygon import ConvexPolygon
+from repro.index.feature_tree import FeatureTree
+from repro.index.object_rtree import ObjectRTree
+
+
+def stps_stream(
+    object_tree: ObjectRTree,
+    feature_trees: Sequence[FeatureTree],
+    query: PreferenceQuery,
+    pulling: str = PULL_PRIORITIZED,
+) -> Iterator[ResultItem]:
+    """Yield results in rank order, lazily; ignores ``query.k``.
+
+    Iteration ends when every data object has been emitted.  Ties within
+    one combination are emitted in ascending object id.
+    """
+    if query.variant is Variant.INFLUENCE:
+        raise QueryError(
+            "the influence variant cannot stream exact ranks incrementally; "
+            "use QueryProcessor.query() instead"
+        )
+    if len(feature_trees) != query.c:
+        raise QueryError(
+            f"query addresses {query.c} feature sets, processor has "
+            f"{len(feature_trees)}"
+        )
+    if query.variant is Variant.RANGE:
+        yield from _stream_range(object_tree, feature_trees, query, pulling)
+    else:
+        yield from _stream_nearest(object_tree, feature_trees, query, pulling)
+
+
+def _stream_range(object_tree, feature_trees, query, pulling):
+    iterator = CombinationIterator(
+        feature_trees, query, enforce_2r=True, pulling=pulling
+    )
+    seen: set[int] = set()
+    while True:
+        combo = iterator.next()
+        if combo is None:
+            return
+        if combo.is_all_virtual:
+            yield from _zero_tail(object_tree, seen)
+            return
+        batch = sorted(
+            (
+                e
+                for e in object_tree.within_all(combo.anchors, query.radius)
+                if e.oid not in seen
+            ),
+            key=lambda e: e.oid,
+        )
+        for e in batch:
+            seen.add(e.oid)
+            yield ResultItem(e.oid, combo.score, e.x, e.y)
+
+
+def _stream_nearest(object_tree, feature_trees, query, pulling):
+    iterator = CombinationIterator(
+        feature_trees, query, enforce_2r=False, pulling=pulling
+    )
+    scorers = [
+        tree.make_scorer(mask, query.lam)
+        for tree, mask in zip(feature_trees, query.keyword_masks)
+    ]
+    unit_region = ConvexPolygon.from_rect(DATA_SPACE)
+    cell_caches: list[dict[int, ConvexPolygon]] = [{} for _ in feature_trees]
+    seen: set[int] = set()
+    while True:
+        combo = iterator.next()
+        if combo is None:
+            return
+        if combo.is_all_virtual:
+            yield from _zero_tail(object_tree, seen)
+            return
+        region = unit_region
+        for i, feature in enumerate(combo.features):
+            if feature.is_virtual:
+                continue
+            cell = cell_caches[i].get(feature.fid)
+            if cell is None:
+                cell = clip_voronoi_cell(
+                    feature_trees[i],
+                    scorers[i],
+                    (feature.x, feature.y),
+                    feature.fid,
+                    unit_region,
+                )
+                cell_caches[i][feature.fid] = cell
+            region = region.intersection(cell)
+            if region.is_empty:
+                break
+        if region.is_empty:
+            continue
+        batch = sorted(
+            (e for e in object_tree.in_polygon(region) if e.oid not in seen),
+            key=lambda e: e.oid,
+        )
+        for e in batch:
+            seen.add(e.oid)
+            yield ResultItem(e.oid, combo.score, e.x, e.y)
+
+
+def _zero_tail(object_tree, seen):
+    remaining = sorted(
+        (e.oid, e.x, e.y)
+        for e in object_tree.all_entries()
+        if e.oid not in seen
+    )
+    for oid, x, y in remaining:
+        seen.add(oid)
+        yield ResultItem(oid, 0.0, x, y)

@@ -1,0 +1,6 @@
+"""``python -m repro.data`` entry point."""
+
+from repro.data.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

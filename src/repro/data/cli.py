@@ -1,0 +1,83 @@
+"""Dataset-generation CLI: ``python -m repro.data``.
+
+Generates the synthetic clustered datasets and the factual-like
+real-world bundle as JSON-lines files, so experiments can run against
+fixed on-disk inputs:
+
+    python -m repro.data synthetic --objects 10000 --features 10000 \\
+        --sets 2 --vocab 128 --out data/
+    python -m repro.data real --scale 0.1 --out data/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.data.io import save_features, save_objects
+from repro.data.realworld import real_world
+from repro.data.synthetic import (
+    make_vocabulary,
+    synthetic_feature_sets,
+    synthetic_objects,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.data",
+        description="Generate STPQ benchmark datasets as JSON lines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthetic", help="clustered synthetic datasets")
+    synth.add_argument("--objects", type=int, default=10_000)
+    synth.add_argument("--features", type=int, default=10_000)
+    synth.add_argument("--sets", type=int, default=2, help="feature sets c")
+    synth.add_argument("--vocab", type=int, default=128)
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--out", required=True, metavar="DIR")
+
+    real = sub.add_parser("real", help="factual-like hotels/restaurants")
+    real.add_argument("--scale", type=float, default=0.1)
+    real.add_argument("--seed", type=int, default=7)
+    real.add_argument("--out", required=True, metavar="DIR")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    if args.command == "synthetic":
+        objects = synthetic_objects(args.objects, seed=args.seed)
+        vocabulary = make_vocabulary(args.vocab)
+        feature_sets = synthetic_feature_sets(
+            args.sets, args.features, vocabulary, seed=args.seed + 1
+        )
+        objects_path = os.path.join(args.out, "objects.jsonl")
+        save_objects(objects, objects_path)
+        print(f"wrote {objects_path} ({len(objects)} objects)")
+        for i, fs in enumerate(feature_sets, start=1):
+            path = os.path.join(args.out, f"features_{i}.jsonl")
+            save_features(fs, path)
+            print(f"wrote {path} ({len(fs)} features)")
+        return 0
+
+    data = real_world(scale=args.scale, seed=args.seed)
+    hotels_path = os.path.join(args.out, "hotels.jsonl")
+    save_objects(data.hotels, hotels_path)
+    print(f"wrote {hotels_path} ({len(data.hotels)} hotels)")
+    for label, dataset in (
+        ("restaurants", data.restaurants),
+        ("coffeehouses", data.coffeehouses),
+    ):
+        path = os.path.join(args.out, f"{label}.jsonl")
+        save_features(dataset, path)
+        print(f"wrote {path} ({len(dataset)} {label})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Dataset persistence: JSON-lines save/load for objects and features.
+
+Format (one JSON object per line)::
+
+    {"type": "meta", "kind": "features", "label": ..., "vocabulary": [...]}
+    {"id": 0, "x": 0.1, "y": 0.2, "score": 0.8, "kw": [3, 17], "name": "..."}
+
+Data-object files omit ``score``/``kw``.  Plain text keeps the files
+diffable and the loader dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import DatasetError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+
+def save_objects(dataset: ObjectDataset, path: str) -> None:
+    """Write a data-object dataset as JSON lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "meta", "kind": "objects"}) + "\n")
+        for o in dataset:
+            record = {"id": o.oid, "x": o.x, "y": o.y}
+            if o.name:
+                record["name"] = o.name
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_objects(path: str) -> ObjectDataset:
+    """Read a data-object dataset written by :func:`save_objects`."""
+    meta, records = _read(path)
+    if meta.get("kind") != "objects":
+        raise DatasetError(f"{path}: not a data-object file")
+    return ObjectDataset(
+        [
+            DataObject(r["id"], r["x"], r["y"], r.get("name", ""))
+            for r in records
+        ]
+    )
+
+
+def save_features(dataset: FeatureDataset, path: str) -> None:
+    """Write a feature dataset (including its vocabulary) as JSON lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "kind": "features",
+                    "label": dataset.label,
+                    "vocabulary": list(dataset.vocabulary),
+                }
+            )
+            + "\n"
+        )
+        for f in dataset:
+            record = {
+                "id": f.fid,
+                "x": f.x,
+                "y": f.y,
+                "score": f.score,
+                "kw": sorted(f.keywords),
+            }
+            if f.name:
+                record["name"] = f.name
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_features(path: str) -> FeatureDataset:
+    """Read a feature dataset written by :func:`save_features`."""
+    meta, records = _read(path)
+    if meta.get("kind") != "features":
+        raise DatasetError(f"{path}: not a feature file")
+    vocab = Vocabulary(meta.get("vocabulary", []))
+    features = [
+        FeatureObject(
+            r["id"],
+            r["x"],
+            r["y"],
+            r["score"],
+            frozenset(r.get("kw", [])),
+            r.get("name", ""),
+        )
+        for r in records
+    ]
+    return FeatureDataset(features, vocab, meta.get("label", ""))
+
+
+def _read(path: str) -> tuple[dict, list[dict]]:
+    if not os.path.exists(path):
+        raise DatasetError(f"no such dataset file: {path}")
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise DatasetError(f"{path}: empty dataset file")
+    try:
+        meta = json.loads(lines[0])
+        records = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: malformed JSON ({exc})") from exc
+    if meta.get("type") != "meta":
+        raise DatasetError(f"{path}: first line is not a meta record")
+    return meta, records

@@ -1,0 +1,102 @@
+"""Name/keyword material for the factual-like real-world generator.
+
+The paper's real dataset came from factual.com: US hotels and restaurants
+with ratings and "cuisine" keywords ("the number of distinct values of
+keywords for the cuisine is around 130").  factual.com no longer exists,
+so we synthesize a dataset with the same published statistics; this module
+holds the vocabulary and naming material.
+"""
+
+from __future__ import annotations
+
+# The 13 US states the paper mentions ("13 US states that are the states
+# for which factual.com lists sufficient data") — the exact states are not
+# named in the paper, so we pick 13 populous ones; only the *count* of
+# top-level clusters matters for the data distribution.
+US_STATES = [
+    "California",
+    "Texas",
+    "Florida",
+    "New York",
+    "Pennsylvania",
+    "Illinois",
+    "Ohio",
+    "Georgia",
+    "North Carolina",
+    "Michigan",
+    "New Jersey",
+    "Virginia",
+    "Washington",
+]
+
+# ~130 cuisine keywords, as in the paper's crawl.  Ordered roughly by
+# popularity; the generator samples them with a Zipf-like skew, which
+# matches how cuisine tags are distributed in real POI data.
+CUISINE_KEYWORDS = [
+    "american", "pizza", "mexican", "italian", "chinese", "burgers",
+    "sandwiches", "seafood", "japanese", "steak", "barbecue", "thai",
+    "sushi", "indian", "greek", "french", "mediterranean", "vietnamese",
+    "korean", "cajun", "breakfast", "diner", "bakery", "deli", "cafe",
+    "vegetarian", "vegan", "tapas", "spanish", "german", "irish", "cuban",
+    "caribbean", "soul", "southern", "tex-mex", "ramen", "noodles", "pho",
+    "dim-sum", "hotpot", "salad", "soup", "wings", "subs", "bagels",
+    "donuts", "pancakes", "waffles", "crepes", "gelato", "ice-cream",
+    "frozen-yogurt", "smoothies", "juice", "coffee", "tea", "espresso",
+    "cappuccino", "latte", "bubble-tea", "brewpub", "gastropub", "wine-bar",
+    "cocktails", "buffet", "fast-food", "food-truck", "gluten-free",
+    "organic", "farm-to-table", "fusion", "asian", "latin", "peruvian",
+    "brazilian", "argentinian", "colombian", "ethiopian", "moroccan",
+    "lebanese", "turkish", "persian", "pakistani", "bangladeshi",
+    "filipino", "indonesian", "malaysian", "singaporean", "hawaiian",
+    "poke", "fish-and-chips", "british", "scottish", "polish", "russian",
+    "ukrainian", "hungarian", "austrian", "swiss", "belgian", "dutch",
+    "scandinavian", "portuguese", "oysters", "crab", "lobster", "clams",
+    "tacos", "burritos", "quesadillas", "empanadas", "falafel", "gyros",
+    "kebab", "shawarma", "halal", "kosher", "curry", "tandoori", "biryani",
+    "dumplings", "spring-rolls", "teriyaki", "tempura", "udon", "bistro",
+    "brasserie", "trattoria", "pasta", "risotto", "paella", "churrasco",
+    "rotisserie", "smokehouse", "chowder", "muffins", "croissants",
+    "pastries", "macarons",
+]
+
+# Coffeehouse-flavoured subset used for the second real-like feature set
+# (the running example of the paper: restaurants + coffeehouses).
+COFFEE_KEYWORDS = [
+    "coffee", "espresso", "cappuccino", "latte", "tea", "bubble-tea",
+    "muffins", "croissants", "pastries", "donuts", "bagels", "macarons",
+    "smoothies", "juice", "gelato", "ice-cream", "frozen-yogurt", "crepes",
+    "waffles", "cafe", "bakery", "breakfast",
+]
+
+RESTAURANT_NAME_HEADS = [
+    "Golden", "Royal", "Blue", "Silver", "Rustic", "Urban", "Old Town",
+    "Corner", "Harbor", "Garden", "Sunset", "Village", "Metro", "Grand",
+    "Little", "Happy", "Lucky", "Twin", "Red", "Green",
+]
+
+RESTAURANT_NAME_TAILS = [
+    "Kitchen", "Grill", "Bistro", "Table", "Tavern", "House", "Cantina",
+    "Trattoria", "Diner", "Eatery", "Plates", "Fork", "Spoon", "Oven",
+    "Hearth", "Pantry", "Terrace", "Garden", "Room", "Spot",
+]
+
+HOTEL_NAME_HEADS = [
+    "Grand", "Park", "Royal", "Comfort", "Summit", "Harbor", "Lakeside",
+    "Sunset", "Palm", "Crown", "Liberty", "Union", "Capital", "Riverside",
+    "Garden", "Majestic", "Pioneer", "Heritage", "Skyline", "Beacon",
+]
+
+HOTEL_NAME_TAILS = [
+    "Hotel", "Inn", "Suites", "Lodge", "Resort", "Plaza", "Court",
+    "Residences", "House", "Place",
+]
+
+CAFE_NAME_HEADS = [
+    "Daily", "Morning", "Corner", "Velvet", "Amber", "Honey", "Maple",
+    "Cozy", "Bright", "Steam", "Drip", "Whistle", "Copper", "Marble",
+]
+
+CAFE_NAME_TAILS = [
+    "Coffee", "Cafe", "Roasters", "Espresso Bar", "Coffee House",
+    "Brew", "Beans", "Cup", "Grind", "Perk",
+]

@@ -1,0 +1,70 @@
+"""Query-workload generation (Section 8.1).
+
+"Every reported value is the average of 1,000 random queries, which are
+generated in a similar way as the synthetic data and follow the same data
+distribution" — query keywords are sampled from the occurrence
+distribution of the keywords in each feature set.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.query import PreferenceQuery, Variant
+from repro.data.synthetic import data_keyword_distribution
+from repro.errors import DatasetError
+from repro.model.dataset import FeatureDataset
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters shared by every query of a workload (Table 2)."""
+
+    n_queries: int = 50
+    k: int = 10
+    radius: float = 0.01
+    lam: float = 0.5
+    keywords_per_set: int = 3
+    variant: Variant = Variant.RANGE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise DatasetError("workload needs at least one query")
+        if self.keywords_per_set < 1:
+            raise DatasetError("need at least one query keyword per set")
+
+
+def make_workload(
+    feature_sets: Sequence[FeatureDataset], spec: WorkloadSpec
+) -> list[PreferenceQuery]:
+    """Random queries whose keywords follow the data distribution."""
+    rng = random.Random(spec.seed)
+    distributions = [data_keyword_distribution(fs) for fs in feature_sets]
+    queries = []
+    for _ in range(spec.n_queries):
+        masks = []
+        for dist in distributions:
+            chosen: set[int] = set()
+            # Sample distinct terms, weighted by data frequency; fall back
+            # to uniform fill if the set's distinct terms run short.
+            attempts = 0
+            while len(chosen) < spec.keywords_per_set and attempts < 200:
+                chosen.add(rng.choice(dist))
+                attempts += 1
+            mask = 0
+            for term in chosen:
+                mask |= 1 << term
+            masks.append(mask)
+        queries.append(
+            PreferenceQuery(
+                k=spec.k,
+                radius=spec.radius,
+                lam=spec.lam,
+                keyword_masks=tuple(masks),
+                variant=spec.variant,
+            )
+        )
+    return queries

@@ -1,0 +1,20 @@
+"""Geometric primitives: points, rectangles, half-planes, convex polygons."""
+
+from repro.geometry.halfplane import EPS, HalfPlane, bisector_halfplane
+from repro.geometry.point import Coords, as_point, dist, dist2, midpoint
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect, mbr_of_points
+
+__all__ = [
+    "EPS",
+    "Coords",
+    "ConvexPolygon",
+    "HalfPlane",
+    "Rect",
+    "as_point",
+    "bisector_halfplane",
+    "dist",
+    "dist2",
+    "mbr_of_points",
+    "midpoint",
+]

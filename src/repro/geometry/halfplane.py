@@ -1,0 +1,69 @@
+"""Half-planes and perpendicular bisectors.
+
+The nearest-neighbor STPQ variant (Section 7.2 of the paper) retrieves data
+objects through Voronoi cells.  A Voronoi cell is an intersection of
+half-planes, each induced by the perpendicular bisector between the cell's
+site and a competing feature object.  ``HalfPlane`` represents the locus
+``a*x + b*y <= c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GeometryError
+
+# Tolerance for "on the boundary" tests.  The data space is [0,1]^2 so an
+# absolute epsilon is appropriate.
+EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class HalfPlane:
+    """The closed half-plane ``a*x + b*y <= c`` with ``(a, b) != (0, 0)``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if abs(self.a) < EPS and abs(self.b) < EPS:
+            raise GeometryError("degenerate half-plane: zero normal vector")
+
+    def value(self, point: Sequence[float]) -> float:
+        """Signed value ``a*x + b*y - c`` (negative strictly inside)."""
+        return self.a * point[0] + self.b * point[1] - self.c
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True when ``point`` satisfies ``a*x + b*y <= c`` (within EPS)."""
+        return self.value(point) <= EPS
+
+    def distance_to_boundary(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the bounding line."""
+        norm = math.hypot(self.a, self.b)
+        return abs(self.value(point)) / norm
+
+
+def bisector_halfplane(
+    site: Sequence[float], other: Sequence[float]
+) -> HalfPlane:
+    """Half-plane of points at least as close to ``site`` as to ``other``.
+
+    The perpendicular bisector of segment (site, other) splits the plane;
+    the returned half-plane is the side containing ``site``.  Raises
+    :class:`GeometryError` when the two points coincide (no bisector).
+    """
+    sx, sy = float(site[0]), float(site[1])
+    ox, oy = float(other[0]), float(other[1])
+    dx, dy = ox - sx, oy - sy
+    if abs(dx) < EPS and abs(dy) < EPS:
+        raise GeometryError("bisector of coincident points is undefined")
+    # dist(p, site) <= dist(p, other)
+    #   <=>  (x-sx)^2 + (y-sy)^2 <= (x-ox)^2 + (y-oy)^2
+    #   <=>  2*(ox-sx)*x + 2*(oy-sy)*y <= ox^2+oy^2-sx^2-sy^2
+    a = 2.0 * dx
+    b = 2.0 * dy
+    c = ox * ox + oy * oy - sx * sx - sy * sy
+    return HalfPlane(a, b, c)

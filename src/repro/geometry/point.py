@@ -1,0 +1,56 @@
+"""Point primitives and distance functions.
+
+The paper works in a normalized ``[0, 1] x [0, 1]`` space with Euclidean
+distances (Section 3).  Points are plain tuples of floats so they stay cheap
+to hash, compare and serialize; the helpers here provide the distance
+algebra used across the index and query layers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import GeometryError
+
+Coords = tuple[float, ...]
+
+
+def as_point(coords: Sequence[float]) -> Coords:
+    """Validate and normalize a coordinate sequence into a point tuple.
+
+    Raises :class:`GeometryError` for empty or non-finite input.
+    """
+    point = tuple(float(c) for c in coords)
+    if not point:
+        raise GeometryError("a point needs at least one coordinate")
+    if any(math.isnan(c) or math.isinf(c) for c in point):
+        raise GeometryError(f"non-finite coordinate in point {point!r}")
+    return point
+
+
+def dist(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points of equal dimensionality."""
+    if len(a) != len(b):
+        raise GeometryError(
+            f"dimension mismatch: {len(a)}-d point vs {len(b)}-d point"
+        )
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def dist2(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt when only comparing)."""
+    if len(a) != len(b):
+        raise GeometryError(
+            f"dimension mismatch: {len(a)}-d point vs {len(b)}-d point"
+        )
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def midpoint(a: Sequence[float], b: Sequence[float]) -> Coords:
+    """Point halfway between ``a`` and ``b``."""
+    if len(a) != len(b):
+        raise GeometryError(
+            f"dimension mismatch: {len(a)}-d point vs {len(b)}-d point"
+        )
+    return tuple((x + y) / 2.0 for x, y in zip(a, b))

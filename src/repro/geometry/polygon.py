@@ -1,0 +1,167 @@
+"""Convex polygons with half-plane clipping.
+
+Used by the nearest-neighbor query variant to maintain Voronoi cells
+incrementally: start from a bounding rectangle and clip with one
+perpendicular-bisector half-plane per competing feature (Sutherland-Hodgman
+style clipping specialised to convex input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.halfplane import EPS, HalfPlane
+from repro.geometry.point import Coords, dist
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class ConvexPolygon:
+    """A (possibly empty) convex polygon given by its vertex ring.
+
+    Vertices are in counter-clockwise order.  An empty vertex list denotes
+    the empty polygon, which clipping can produce and which downstream code
+    uses to discard combinations early (Section 7.2 of the paper).
+    """
+
+    vertices: tuple[Coords, ...] = field(default=())
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "ConvexPolygon":
+        """CCW polygon covering a 2-d rectangle."""
+        if rect.dim != 2:
+            raise GeometryError("only 2-d rectangles convert to polygons")
+        (x0, y0), (x1, y1) = rect.low, rect.high
+        return cls(((x0, y0), (x1, y0), (x1, y1), (x0, y1)))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the polygon has no interior (fewer than 3 vertices)."""
+        return len(self.vertices) < 3
+
+    def area(self) -> float:
+        """Polygon area via the shoelace formula (0.0 when empty)."""
+        if self.is_empty:
+            return 0.0
+        total = 0.0
+        verts = self.vertices
+        for i, (x0, y0) in enumerate(verts):
+            x1, y1 = verts[(i + 1) % len(verts)]
+            total += x0 * y1 - x1 * y0
+        return abs(total) / 2.0
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True when ``point`` is inside or on the boundary."""
+        if self.is_empty:
+            return False
+        verts = self.vertices
+        for i, (x0, y0) in enumerate(verts):
+            x1, y1 = verts[(i + 1) % len(verts)]
+            # CCW ring: interior is to the left of each directed edge.
+            cross = (x1 - x0) * (point[1] - y0) - (y1 - y0) * (point[0] - x0)
+            if cross < -EPS:
+                return False
+        return True
+
+    def clip(self, halfplane: HalfPlane) -> "ConvexPolygon":
+        """Intersect with a half-plane, returning a new polygon.
+
+        Clipping a convex polygon with a half-plane yields a convex polygon
+        (possibly empty), so repeated clipping is closed.
+        """
+        if self.is_empty:
+            return self
+        out: list[Coords] = []
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            cur = verts[i]
+            nxt = verts[(i + 1) % n]
+            cur_val = halfplane.value(cur)
+            nxt_val = halfplane.value(nxt)
+            cur_in = cur_val <= EPS
+            nxt_in = nxt_val <= EPS
+            if cur_in:
+                out.append(cur)
+            if cur_in != nxt_in:
+                # Edge crosses the boundary; add the intersection point.
+                t = cur_val / (cur_val - nxt_val)
+                out.append(
+                    (
+                        cur[0] + t * (nxt[0] - cur[0]),
+                        cur[1] + t * (nxt[1] - cur[1]),
+                    )
+                )
+        return ConvexPolygon(_dedupe_ring(out))
+
+    def edge_halfplanes(self) -> list[HalfPlane]:
+        """The half-planes whose intersection is this polygon.
+
+        One half-plane per directed CCW edge; the interior lies to the
+        left of each edge.
+        """
+        if self.is_empty:
+            raise GeometryError("empty polygon has no edge half-planes")
+        planes = []
+        verts = self.vertices
+        n = len(verts)
+        for i, (x0, y0) in enumerate(verts):
+            x1, y1 = verts[(i + 1) % n]
+            # Left of edge: (x1-x0)(py-y0) - (y1-y0)(px-x0) >= 0
+            #   <=>  (y1-y0) px - (x1-x0) py <= (y1-y0) x0 - (x1-x0) y0
+            a = y1 - y0
+            b = -(x1 - x0)
+            planes.append(HalfPlane(a, b, a * x0 + b * y0))
+        return planes
+
+    def intersection(self, other: "ConvexPolygon") -> "ConvexPolygon":
+        """Intersection of two convex polygons (possibly empty)."""
+        if self.is_empty or other.is_empty:
+            return ConvexPolygon()
+        # Cheap reject: disjoint bounding boxes cannot intersect.
+        if not self.bounding_rect().intersects(other.bounding_rect()):
+            return ConvexPolygon()
+        region = self
+        for plane in other.edge_halfplanes():
+            region = region.clip(plane)
+            if region.is_empty:
+                break
+        return region
+
+    def bounding_rect(self) -> Rect:
+        """Smallest axis-aligned rectangle covering the polygon."""
+        if self.is_empty:
+            raise GeometryError("empty polygon has no bounding rectangle")
+        return Rect.bounding(self.vertices)
+
+    def max_distance_from(self, point: Sequence[float]) -> float:
+        """Largest distance from ``point`` to any polygon vertex.
+
+        For a convex polygon the farthest point is always a vertex, so this
+        is the exact maximum over the whole polygon.  The incremental
+        Voronoi construction uses it as the 'no further clipping possible'
+        radius.
+        """
+        if self.is_empty:
+            return 0.0
+        return max(dist(point, v) for v in self.vertices)
+
+
+def _dedupe_ring(points: list[Coords]) -> tuple[Coords, ...]:
+    """Drop consecutive (near-)duplicate vertices from a ring."""
+    if not points:
+        return ()
+    kept: list[Coords] = []
+    for p in points:
+        if kept and abs(p[0] - kept[-1][0]) < EPS and abs(p[1] - kept[-1][1]) < EPS:
+            continue
+        kept.append(p)
+    while (
+        len(kept) > 1
+        and abs(kept[0][0] - kept[-1][0]) < EPS
+        and abs(kept[0][1] - kept[-1][1]) < EPS
+    ):
+        kept.pop()
+    return tuple(kept)

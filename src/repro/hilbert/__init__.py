@@ -1,0 +1,12 @@
+"""Hilbert-curve machinery: generic n-d curve and keyword mapping."""
+
+from repro.hilbert.curve import HilbertCurve, hilbert_key_2d, hilbert_key_4d
+from repro.hilbert.keywords import KeywordHilbert, gray_rank
+
+__all__ = [
+    "HilbertCurve",
+    "KeywordHilbert",
+    "gray_rank",
+    "hilbert_key_2d",
+    "hilbert_key_4d",
+]

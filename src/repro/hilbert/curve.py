@@ -1,0 +1,173 @@
+"""n-dimensional Hilbert curve encode/decode (Skilling's algorithm).
+
+Implements the transpose-based algorithm of J. Skilling, *Programming the
+Hilbert curve* (AIP Conf. Proc. 707, 2004) for arbitrary dimension count
+``n`` and bits-per-dimension ``b``.  Two users in this repo:
+
+* the keyword mapping of Section 4.2 (``b = 1``, ``n = w`` vocabulary
+  terms), where the curve degenerates to a Gray-code ordering of the
+  keyword hypercube — consecutive Hilbert values differ in exactly one
+  keyword, which is the locality property the SRT-index exploits;
+* the 4-d bulk-loading key of the SRT-index (``n = 4``, ``b = 16``) over
+  the mapped space ``(x, y, score, H(keywords))``.
+
+Values are plain Python ints, so ``n * b`` can exceed machine-word width
+(needed for 256-keyword vocabularies → 256-bit Hilbert values).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, slots=True)
+class HilbertCurve:
+    """A Hilbert curve over ``[0, 2**bits)**dims``."""
+
+    dims: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise GeometryError(f"need at least 1 dimension, got {self.dims}")
+        if self.bits < 1:
+            raise GeometryError(f"need at least 1 bit, got {self.bits}")
+
+    @property
+    def max_h(self) -> int:
+        """Exclusive upper bound of Hilbert values."""
+        return 1 << (self.dims * self.bits)
+
+    @property
+    def side(self) -> int:
+        """Exclusive upper bound of each coordinate."""
+        return 1 << self.bits
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def encode(self, coords: Sequence[int]) -> int:
+        """Hilbert index of an integer point."""
+        x = self._validated(coords)
+        m = 1 << (self.bits - 1)
+
+        # Inverse undo of the excess work (Skilling's first loop).
+        q = m
+        while q > 1:
+            p = q - 1
+            for i in range(self.dims):
+                if x[i] & q:
+                    x[0] ^= p
+                else:
+                    t = (x[0] ^ x[i]) & p
+                    x[0] ^= t
+                    x[i] ^= t
+            q >>= 1
+
+        # Gray encode.
+        for i in range(1, self.dims):
+            x[i] ^= x[i - 1]
+        t = 0
+        q = m
+        while q > 1:
+            if x[self.dims - 1] & q:
+                t ^= q - 1
+            q >>= 1
+        for i in range(self.dims):
+            x[i] ^= t
+
+        return self._interleave(x)
+
+    def decode(self, h: int) -> tuple[int, ...]:
+        """Integer point at Hilbert index ``h`` (inverse of :meth:`encode`)."""
+        if not 0 <= h < self.max_h:
+            raise GeometryError(
+                f"hilbert value {h} out of range [0, {self.max_h})"
+            )
+        x = self._deinterleave(h)
+        m = 1 << (self.bits - 1)
+
+        # Gray decode by halving.
+        t = x[self.dims - 1] >> 1
+        for i in range(self.dims - 1, 0, -1):
+            x[i] ^= x[i - 1]
+        x[0] ^= t
+
+        # Undo the excess work.
+        q = 2
+        while q != (m << 1):
+            p = q - 1
+            for i in range(self.dims - 1, -1, -1):
+                if x[i] & q:
+                    x[0] ^= p
+                else:
+                    t = (x[0] ^ x[i]) & p
+                    x[0] ^= t
+                    x[i] ^= t
+            q <<= 1
+
+        return tuple(x)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _validated(self, coords: Sequence[int]) -> list[int]:
+        if len(coords) != self.dims:
+            raise GeometryError(
+                f"expected {self.dims} coordinates, got {len(coords)}"
+            )
+        out = []
+        for c in coords:
+            c = int(c)
+            if not 0 <= c < self.side:
+                raise GeometryError(
+                    f"coordinate {c} out of range [0, {self.side})"
+                )
+            out.append(c)
+        return out
+
+    def _interleave(self, x: Sequence[int]) -> int:
+        """Pack the transpose form into a single integer, MSB-first."""
+        h = 0
+        for bit in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                h = (h << 1) | ((x[i] >> bit) & 1)
+        return h
+
+    def _deinterleave(self, h: int) -> list[int]:
+        """Unpack a Hilbert integer into transpose form."""
+        x = [0] * self.dims
+        position = self.dims * self.bits - 1
+        for bit in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                x[i] |= ((h >> position) & 1) << bit
+                position -= 1
+        return x
+
+
+def hilbert_key_2d(x: float, y: float, bits: int = 16) -> int:
+    """Hilbert key of a point in the unit square (bulk-load sort key)."""
+    return _unit_key(HilbertCurve(2, bits), (x, y))
+
+
+def hilbert_key_4d(
+    x: float, y: float, score: float, text_key: float, bits: int = 8
+) -> int:
+    """Hilbert key of a mapped SRT point ``(x, y, s, H(W))`` in [0,1]^4."""
+    return _unit_key(HilbertCurve(4, bits), (x, y, score, text_key))
+
+
+def _unit_key(curve: HilbertCurve, unit_coords: Sequence[float]) -> int:
+    side = curve.side
+    quantized = []
+    for c in unit_coords:
+        q = int(c * side)
+        if q < 0:
+            q = 0
+        elif q >= side:
+            q = side - 1
+        quantized.append(q)
+    return curve.encode(quantized)

@@ -1,0 +1,260 @@
+"""R-tree node formats and their binary codecs.
+
+Two node families share one layout scheme:
+
+* **object nodes** (the data-object R-tree of Section 4.1): leaf entries
+  are bare points, internal entries are child MBRs;
+* **feature nodes** (SRT-index and modified IR²-tree): leaf entries carry
+  the feature's quality score and exact keyword bit mask, internal entries
+  additionally carry the two per-node aggregates the paper requires —
+  the max descendant score ``e.s`` and a keyword summary ``e.W`` (exact
+  union mask for SRT, superimposed signature for IR²).
+
+Payload layout: ``[level:u8][count:u16]`` followed by fixed-size entries,
+so node fan-out is *derived from the page size* — growing the vocabulary
+grows the per-entry summary and shrinks fan-out, reproducing the effect
+the paper discusses for Figure 7(d).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import IndexError_, StorageError
+from repro.geometry.rect import Rect
+
+_HEADER = struct.Struct("<BH")
+_OBJ_LEAF = struct.Struct("<qdd")
+_OBJ_INTERNAL = struct.Struct("<q4d")
+_FEAT_LEAF_FIXED = struct.Struct("<q3d")
+_FEAT_INTERNAL_FIXED = struct.Struct("<q5d")
+
+LEAF_LEVEL = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectLeafEntry:
+    """A data object stored in a leaf: id plus location."""
+
+    oid: int
+    x: float
+    y: float
+
+    @property
+    def location(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+    @property
+    def rect(self) -> Rect:
+        return Rect((self.x, self.y), (self.x, self.y))
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectInternalEntry:
+    """A child pointer with its MBR."""
+
+    child: int
+    rect: Rect
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureLeafEntry:
+    """A feature object in a leaf: id, location, score, keyword mask."""
+
+    fid: int
+    x: float
+    y: float
+    score: float
+    mask: int
+
+    @property
+    def location(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+    @property
+    def rect(self) -> Rect:
+        return Rect((self.x, self.y), (self.x, self.y))
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureInternalEntry:
+    """A child pointer with MBR plus the paper's aggregates.
+
+    ``max_score`` is the maximum ``t.s`` below the child; ``summary`` is
+    the textual summary of all descendant keywords (union mask for the
+    SRT-index, signature for the IR²-tree).
+    """
+
+    child: int
+    rect: Rect
+    max_score: float
+    summary: int
+
+
+Entry = (
+    ObjectLeafEntry | ObjectInternalEntry | FeatureLeafEntry | FeatureInternalEntry
+)
+
+
+@dataclass(slots=True)
+class Node:
+    """A decoded R-tree node: page id, level (0 = leaf) and entries."""
+
+    page_id: int
+    level: int
+    entries: list
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == LEAF_LEVEL
+
+    def mbr(self) -> Rect:
+        """MBR of all entries in this node."""
+        if not self.entries:
+            raise IndexError_(f"node {self.page_id} has no entries")
+        rects = [
+            e.rect if not isinstance(e, (ObjectInternalEntry, FeatureInternalEntry))
+            else e.rect
+            for e in self.entries
+        ]
+        return Rect.union_of(rects)
+
+
+class ObjectNodeCodec:
+    """Binary codec for data-object R-tree nodes."""
+
+    leaf_entry_size = _OBJ_LEAF.size
+    internal_entry_size = _OBJ_INTERNAL.size
+
+    def encode(self, node: Node) -> bytes:
+        parts = [_HEADER.pack(node.level, len(node.entries))]
+        if node.is_leaf:
+            for e in node.entries:
+                parts.append(_OBJ_LEAF.pack(e.oid, e.x, e.y))
+        else:
+            for e in node.entries:
+                parts.append(
+                    _OBJ_INTERNAL.pack(
+                        e.child, e.rect.low[0], e.rect.low[1],
+                        e.rect.high[0], e.rect.high[1],
+                    )
+                )
+        return b"".join(parts)
+
+    def decode(self, page_id: int, payload: bytes) -> Node:
+        level, count = _unpack_header(page_id, payload)
+        entries: list = []
+        offset = _HEADER.size
+        if level == LEAF_LEVEL:
+            for _ in range(count):
+                oid, x, y = _OBJ_LEAF.unpack_from(payload, offset)
+                offset += _OBJ_LEAF.size
+                entries.append(ObjectLeafEntry(oid, x, y))
+        else:
+            for _ in range(count):
+                child, x0, y0, x1, y1 = _OBJ_INTERNAL.unpack_from(payload, offset)
+                offset += _OBJ_INTERNAL.size
+                entries.append(ObjectInternalEntry(child, Rect((x0, y0), (x1, y1))))
+        return Node(page_id, level, entries)
+
+    def leaf_fanout(self, payload_capacity: int) -> int:
+        return _fanout(payload_capacity, self.leaf_entry_size)
+
+    def internal_fanout(self, payload_capacity: int) -> int:
+        return _fanout(payload_capacity, self.internal_entry_size)
+
+
+class FeatureNodeCodec:
+    """Binary codec for feature-tree nodes.
+
+    ``mask_bytes`` sizes the exact per-feature keyword masks stored in
+    leaves; ``summary_bytes`` sizes the per-node textual summary stored in
+    internal entries (equal to ``mask_bytes`` for the SRT-index, to the
+    signature width for the IR²-tree).
+    """
+
+    def __init__(self, mask_bytes: int, summary_bytes: int) -> None:
+        if mask_bytes < 1 or summary_bytes < 1:
+            raise IndexError_("mask and summary widths must be positive")
+        self.mask_bytes = mask_bytes
+        self.summary_bytes = summary_bytes
+        self.leaf_entry_size = _FEAT_LEAF_FIXED.size + mask_bytes
+        self.internal_entry_size = _FEAT_INTERNAL_FIXED.size + summary_bytes
+
+    def encode(self, node: Node) -> bytes:
+        parts = [_HEADER.pack(node.level, len(node.entries))]
+        if node.is_leaf:
+            for e in node.entries:
+                parts.append(_FEAT_LEAF_FIXED.pack(e.fid, e.x, e.y, e.score))
+                parts.append(_encode_big(e.mask, self.mask_bytes, e.fid))
+        else:
+            for e in node.entries:
+                parts.append(
+                    _FEAT_INTERNAL_FIXED.pack(
+                        e.child, e.rect.low[0], e.rect.low[1],
+                        e.rect.high[0], e.rect.high[1], e.max_score,
+                    )
+                )
+                parts.append(_encode_big(e.summary, self.summary_bytes, e.child))
+        return b"".join(parts)
+
+    def decode(self, page_id: int, payload: bytes) -> Node:
+        level, count = _unpack_header(page_id, payload)
+        entries: list = []
+        offset = _HEADER.size
+        if level == LEAF_LEVEL:
+            for _ in range(count):
+                fid, x, y, score = _FEAT_LEAF_FIXED.unpack_from(payload, offset)
+                offset += _FEAT_LEAF_FIXED.size
+                mask = int.from_bytes(
+                    payload[offset : offset + self.mask_bytes], "little"
+                )
+                offset += self.mask_bytes
+                entries.append(FeatureLeafEntry(fid, x, y, score, mask))
+        else:
+            for _ in range(count):
+                child, x0, y0, x1, y1, max_score = _FEAT_INTERNAL_FIXED.unpack_from(
+                    payload, offset
+                )
+                offset += _FEAT_INTERNAL_FIXED.size
+                summary = int.from_bytes(
+                    payload[offset : offset + self.summary_bytes], "little"
+                )
+                offset += self.summary_bytes
+                entries.append(
+                    FeatureInternalEntry(
+                        child, Rect((x0, y0), (x1, y1)), max_score, summary
+                    )
+                )
+        return Node(page_id, level, entries)
+
+    def leaf_fanout(self, payload_capacity: int) -> int:
+        return _fanout(payload_capacity, self.leaf_entry_size)
+
+    def internal_fanout(self, payload_capacity: int) -> int:
+        return _fanout(payload_capacity, self.internal_entry_size)
+
+
+def _unpack_header(page_id: int, payload: bytes) -> tuple[int, int]:
+    if len(payload) < _HEADER.size:
+        raise StorageError(f"page {page_id}: node payload too short")
+    return _HEADER.unpack_from(payload)
+
+
+def _encode_big(value: int, width: int, owner: int) -> bytes:
+    try:
+        return value.to_bytes(width, "little")
+    except OverflowError:
+        raise IndexError_(
+            f"entry {owner}: mask/summary does not fit {width} bytes"
+        ) from None
+
+
+def _fanout(payload_capacity: int, entry_size: int) -> int:
+    fanout = (payload_capacity - _HEADER.size) // entry_size
+    if fanout < 2:
+        raise IndexError_(
+            f"page too small: fan-out {fanout} for {entry_size}-byte entries"
+        )
+    return fanout

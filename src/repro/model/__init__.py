@@ -1,0 +1,6 @@
+"""Data model: data objects, feature objects and dataset containers."""
+
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+
+__all__ = ["DataObject", "FeatureDataset", "FeatureObject", "ObjectDataset"]

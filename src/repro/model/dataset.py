@@ -1,0 +1,86 @@
+"""Dataset containers for data objects and feature sets.
+
+A :class:`FeatureDataset` couples the feature objects with the vocabulary
+they are described in; the query layer needs both (query keywords are
+resolved against the same vocabulary).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+
+@dataclass(slots=True)
+class ObjectDataset:
+    """An ordered collection of data objects with unique ids."""
+
+    objects: list[DataObject] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [o.oid for o in self.objects]
+        if len(set(ids)) != len(ids):
+            raise DatasetError("duplicate data object ids")
+        self._by_id = {o.oid: o for o in self.objects}
+
+    _by_id: dict[int, DataObject] = field(init=False, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[DataObject]:
+        return iter(self.objects)
+
+    def get(self, oid: int) -> DataObject:
+        """Look up a data object by id."""
+        try:
+            return self._by_id[oid]
+        except KeyError:
+            raise DatasetError(f"unknown data object id {oid}") from None
+
+
+@dataclass(slots=True)
+class FeatureDataset:
+    """A feature set F_i: feature objects plus their vocabulary."""
+
+    features: list[FeatureObject] = field(default_factory=list)
+    vocabulary: Vocabulary = field(default_factory=Vocabulary)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ids = [f.fid for f in self.features]
+        if len(set(ids)) != len(ids):
+            raise DatasetError(f"duplicate feature ids in set {self.label!r}")
+        size = self.vocabulary.size
+        for f in self.features:
+            bad = [k for k in f.keywords if k >= size]
+            if bad:
+                raise DatasetError(
+                    f"feature {f.fid} uses term ids {bad} outside the "
+                    f"{size}-term vocabulary"
+                )
+        self._by_id = {f.fid: f for f in self.features}
+
+    _by_id: dict[int, FeatureObject] = field(init=False, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __iter__(self) -> Iterator[FeatureObject]:
+        return iter(self.features)
+
+    def get(self, fid: int) -> FeatureObject:
+        """Look up a feature object by id."""
+        try:
+            return self._by_id[fid]
+        except KeyError:
+            raise DatasetError(f"unknown feature id {fid}") from None
+
+    def resolve_keywords(self, terms: Sequence[str]) -> frozenset[int]:
+        """Map keyword strings to term ids, ignoring out-of-vocabulary terms."""
+        ids = (self.vocabulary.term_id(t) for t in terms)
+        return frozenset(i for i in ids if i is not None)

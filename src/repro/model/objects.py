@@ -1,0 +1,76 @@
+"""Core record types: data objects and feature objects (Section 3).
+
+* A *data object* ``p`` (e.g. a hotel) has only a spatial location; it is
+  the thing the query ranks.
+* A *feature object* ``t`` (e.g. a restaurant) additionally carries a
+  non-spatial quality score ``t.s`` in [0, 1] and a keyword set ``t.W``.
+
+Keywords are stored as vocabulary term ids (ints); the mapping to strings
+lives in :class:`repro.text.Vocabulary`.  An optional human-readable name
+supports the real-world dataset generator and the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+from repro.geometry.point import Coords
+
+
+@dataclass(frozen=True, slots=True)
+class DataObject:
+    """A rankable spatial object (hotel, apartment, ...)."""
+
+    oid: int
+    x: float
+    y: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.oid < 0:
+            raise DatasetError(f"negative object id {self.oid}")
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise DatasetError(f"non-finite location for object {self.oid}")
+
+    @property
+    def location(self) -> Coords:
+        """The (x, y) position."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureObject:
+    """A facility with quality score and textual description."""
+
+    fid: int
+    x: float
+    y: float
+    score: float
+    keywords: frozenset[int] = field(default_factory=frozenset)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fid < 0:
+            raise DatasetError(f"negative feature id {self.fid}")
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise DatasetError(f"non-finite location for feature {self.fid}")
+        if not 0.0 <= self.score <= 1.0:
+            raise DatasetError(
+                f"feature {self.fid}: score {self.score} outside [0, 1]"
+            )
+        if any(k < 0 for k in self.keywords):
+            raise DatasetError(f"feature {self.fid}: negative keyword id")
+
+    @property
+    def location(self) -> Coords:
+        """The (x, y) position."""
+        return (self.x, self.y)
+
+    def keyword_mask(self) -> int:
+        """Keyword set as a bit mask (bit ``i`` set iff term ``i`` present)."""
+        mask = 0
+        for k in self.keywords:
+            mask |= 1 << k
+        return mask

@@ -1,0 +1,18 @@
+"""Paged storage substrate: pages, page files, buffer pool, I/O stats."""
+
+from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.pagefile import DiskPageFile, MemoryPageFile, PageFile
+from repro.storage.stats import DEFAULT_PAGE_READ_COST_S, IOStats
+
+__all__ = [
+    "DEFAULT_BUFFER_PAGES",
+    "DEFAULT_PAGE_READ_COST_S",
+    "DEFAULT_PAGE_SIZE",
+    "BufferPool",
+    "DiskPageFile",
+    "IOStats",
+    "MemoryPageFile",
+    "Page",
+    "PageFile",
+]

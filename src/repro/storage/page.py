@@ -1,0 +1,61 @@
+"""Fixed-size pages with checksummed payloads.
+
+A page is the unit of I/O for every index in the repo.  On-disk layout::
+
+    [4 bytes payload length][4 bytes CRC32 of payload][payload][zero padding]
+
+The 8-byte header plus payload must fit ``page_size`` bytes; oversized
+payloads raise :class:`PageOverflowError`, which the R-tree layer uses to
+derive node fan-out from the page size (the paper notes node capacity drops
+as the keyword bitmap grows — Section 8.2, Figure 7(d) discussion).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import PageCorruptedError, PageOverflowError
+
+DEFAULT_PAGE_SIZE = 4096
+_HEADER = struct.Struct("<II")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """An immutable page: id plus raw payload bytes."""
+
+    page_id: int
+    payload: bytes
+
+    def encode(self, page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+        """Serialize to exactly ``page_size`` bytes (header + padding)."""
+        needed = HEADER_SIZE + len(self.payload)
+        if needed > page_size:
+            raise PageOverflowError(needed, page_size)
+        header = _HEADER.pack(len(self.payload), zlib.crc32(self.payload))
+        return header + self.payload + b"\x00" * (page_size - needed)
+
+    @classmethod
+    def decode(
+        cls, page_id: int, raw: bytes, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> "Page":
+        """Parse a raw page image, validating length and checksum."""
+        if len(raw) != page_size:
+            raise PageCorruptedError(
+                page_id, f"expected {page_size} bytes, got {len(raw)}"
+            )
+        length, checksum = _HEADER.unpack_from(raw)
+        if HEADER_SIZE + length > page_size:
+            raise PageCorruptedError(page_id, "payload length exceeds page size")
+        payload = raw[HEADER_SIZE : HEADER_SIZE + length]
+        if zlib.crc32(payload) != checksum:
+            raise PageCorruptedError(page_id, "checksum mismatch")
+        return cls(page_id, payload)
+
+    @staticmethod
+    def capacity(page_size: int = DEFAULT_PAGE_SIZE) -> int:
+        """Maximum payload bytes that fit in a page of ``page_size``."""
+        return page_size - HEADER_SIZE

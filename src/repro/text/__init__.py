@@ -1,0 +1,22 @@
+"""Textual machinery: vocabulary, Jaccard similarity, signatures."""
+
+from repro.text.signature import DEFAULT_BITS_PER_TERM, SignatureScheme
+from repro.text.similarity import (
+    jaccard,
+    jaccard_sets,
+    mask_of,
+    mask_to_ids,
+    overlap_ratio,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "DEFAULT_BITS_PER_TERM",
+    "SignatureScheme",
+    "Vocabulary",
+    "jaccard",
+    "jaccard_sets",
+    "mask_of",
+    "mask_to_ids",
+    "overlap_ratio",
+]

@@ -1,0 +1,69 @@
+"""Textual similarity functions and their node-level upper bounds.
+
+The paper fixes ``sim(t, W)`` to the Jaccard similarity between the
+feature's keywords and the query keywords (Section 3).  Keyword sets are
+represented as bit masks throughout the hot path, so the implementations
+below are popcount-based.
+
+For index entries the paper uses the relaxed bound (Section 4.2)::
+
+    sim_ub(e, W) = |e.W ∩ W| / |W|   >=   J(t.W, W)  for every t under e
+
+which holds because ``|t.W ∩ W| <= |e.W ∩ W|`` and ``|t.W ∪ W| >= |W|``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def mask_of(term_ids: Iterable[int]) -> int:
+    """Bit mask with bit ``i`` set for every id ``i`` in ``term_ids``."""
+    mask = 0
+    for term_id in term_ids:
+        mask |= 1 << term_id
+    return mask
+
+
+def mask_to_ids(mask: int) -> frozenset[int]:
+    """Inverse of :func:`mask_of`."""
+    ids = set()
+    bit = 0
+    while mask:
+        if mask & 1:
+            ids.add(bit)
+        mask >>= 1
+        bit += 1
+    return frozenset(ids)
+
+
+def jaccard(mask_a: int, mask_b: int) -> float:
+    """Jaccard similarity |A∩B| / |A∪B| of two keyword bit masks.
+
+    Defined as 0.0 when both sets are empty (no evidence of similarity).
+    """
+    union = mask_a | mask_b
+    if union == 0:
+        return 0.0
+    inter = mask_a & mask_b
+    return inter.bit_count() / union.bit_count()
+
+
+def jaccard_sets(a: frozenset[int], b: frozenset[int]) -> float:
+    """Jaccard similarity of two term-id sets."""
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def overlap_ratio(node_mask: int, query_mask: int) -> float:
+    """Node-level similarity upper bound ``|e.W ∩ W| / |W|``.
+
+    ``node_mask`` is the union of all keywords below the node; the result
+    upper-bounds the Jaccard similarity of every descendant feature.
+    Returns 0.0 for an empty query.
+    """
+    query_size = query_mask.bit_count()
+    if query_size == 0:
+        return 0.0
+    return (node_mask & query_mask).bit_count() / query_size

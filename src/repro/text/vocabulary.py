@@ -1,0 +1,98 @@
+"""Keyword vocabulary: string terms <-> dense integer ids.
+
+The paper represents each feature's keyword set as a binary vector over the
+``w`` distinct vocabulary terms (Section 4.2).  Term ids here are exactly
+the bit positions of that vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """A bidirectional mapping between keyword strings and term ids."""
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._terms: list[str] = []
+        self._ids: dict[str, int] = {}
+        for term in terms:
+            self.add(term)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct terms (the ``w`` of the paper)."""
+        return len(self._terms)
+
+    def add(self, term: str) -> int:
+        """Register a term (idempotent) and return its id."""
+        normalized = self._normalize(term)
+        existing = self._ids.get(normalized)
+        if existing is not None:
+            return existing
+        term_id = len(self._terms)
+        self._terms.append(normalized)
+        self._ids[normalized] = term_id
+        return term_id
+
+    def term_id(self, term: str) -> int | None:
+        """Id of a term, or None when out of vocabulary."""
+        return self._ids.get(self._normalize(term))
+
+    def require_id(self, term: str) -> int:
+        """Id of a term; raises :class:`VocabularyError` when unknown."""
+        term_id = self.term_id(term)
+        if term_id is None:
+            raise VocabularyError(f"unknown term {term!r}")
+        return term_id
+
+    def term(self, term_id: int) -> str:
+        """String for a term id."""
+        if not 0 <= term_id < len(self._terms):
+            raise VocabularyError(f"term id {term_id} out of range")
+        return self._terms[term_id]
+
+    def encode(self, terms: Iterable[str]) -> frozenset[int]:
+        """Term ids for the known strings among ``terms`` (adds nothing)."""
+        ids = (self.term_id(t) for t in terms)
+        return frozenset(i for i in ids if i is not None)
+
+    def encode_adding(self, terms: Iterable[str]) -> frozenset[int]:
+        """Term ids for ``terms``, registering any new terms."""
+        return frozenset(self.add(t) for t in terms)
+
+    def decode(self, term_ids: Iterable[int]) -> frozenset[str]:
+        """Strings for a set of term ids."""
+        return frozenset(self.term(i) for i in term_ids)
+
+    def mask_of(self, terms: Iterable[str]) -> int:
+        """Bit mask with one bit per known term in ``terms``."""
+        mask = 0
+        for term in terms:
+            term_id = self.term_id(term)
+            if term_id is not None:
+                mask |= 1 << term_id
+        return mask
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return self._normalize(term) in self._ids
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._terms == other._terms
+
+    @staticmethod
+    def _normalize(term: str) -> str:
+        normalized = term.strip().lower()
+        if not normalized:
+            raise VocabularyError("empty keyword")
+        return normalized

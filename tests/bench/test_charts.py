@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.charts import BAR_WIDTH, CPU_CHAR, IO_CHAR, VORONOI_CHAR, render_chart
+from repro.bench.experiments import ExperimentResult
+from repro.bench.timing import Measurement
+
+
+def make_result(io_ms, cpu_ms, voronoi_ms=0.0):
+    result = ExperimentResult("figX", "Sample", "Figure X", "k", [5])
+    result.add(
+        "STPS/SRT",
+        Measurement(
+            1, io_ms + cpu_ms, cpu_ms, io_ms, 10.0, 0.0, 1.0, voronoi_ms, 0.0
+        ),
+    )
+    return result
+
+
+class TestRenderChart:
+    def test_io_and_cpu_segments(self):
+        chart = render_chart(make_result(io_ms=30.0, cpu_ms=10.0))
+        bar_line = next(
+            line for line in chart.splitlines() if line.rstrip().endswith("ms")
+        )
+        io_cells = bar_line.count(IO_CHAR)
+        cpu_cells = bar_line.count(CPU_CHAR)
+        assert io_cells + cpu_cells == BAR_WIDTH  # peak bar fills width
+        assert abs(io_cells / (io_cells + cpu_cells) - 0.75) < 0.05
+
+    def test_voronoi_overlay(self):
+        chart = render_chart(make_result(io_ms=10.0, cpu_ms=30.0, voronoi_ms=20.0))
+        assert VORONOI_CHAR in chart
+
+    def test_zero_times(self):
+        chart = render_chart(make_result(io_ms=0.0, cpu_ms=0.0))
+        assert "figX" in chart  # renders without dividing by zero
+
+    def test_scales_relative_to_peak(self):
+        result = ExperimentResult("figY", "Two", "Figure Y", "k", [1, 2])
+        result.add(
+            "S", Measurement(1, 40.0, 20.0, 20.0, 0, 0, 0, 0.0, 0)
+        )
+        result.add(
+            "S", Measurement(1, 10.0, 5.0, 5.0, 0, 0, 0, 0.0, 0)
+        )
+        chart = render_chart(result)
+        bars = [
+            line
+            for line in chart.splitlines()
+            if line.rstrip().endswith("ms")
+        ]
+        long_bar = bars[0].count(IO_CHAR) + bars[0].count(CPU_CHAR)
+        short_bar = bars[1].count(IO_CHAR) + bars[1].count(CPU_CHAR)
+        assert long_bar == BAR_WIDTH
+        assert abs(short_bar - BAR_WIDTH / 4) <= 1

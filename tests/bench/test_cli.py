@@ -1,0 +1,51 @@
+"""Tests for the repro-bench CLI."""
+
+import os
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        args = build_parser().parse_args([])
+        assert args.scale == "default"
+        assert args.experiments == []
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        args = build_parser().parse_args([])
+        assert args.scale == "quick"
+
+    def test_chart_and_shape_flags(self):
+        args = build_parser().parse_args(["fig7a", "--chart", "--check-shapes"])
+        assert args.chart and args.check_shapes
+        assert args.experiments == ["fig7a"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_tiny_experiment(self, capsys, tmp_path, monkeypatch):
+        # quick scale is still too big for a unit test; shrink via env of
+        # the context is not supported, so run the smallest real panel at
+        # quick scale but cap work by choosing the ablation_build panel
+        # on a reduced config through REPRO_BENCH_SCALE=quick.
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        csv_dir = str(tmp_path / "csv")
+        assert main(["fig8b", "--scale", "quick", "--csv-dir", csv_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig8b" in out
+        assert os.path.exists(os.path.join(csv_dir, "fig8b.csv"))

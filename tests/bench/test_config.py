@@ -1,0 +1,58 @@
+"""Tests for benchmark configuration."""
+
+import pytest
+
+from repro.bench.config import BenchConfig
+
+
+class TestScales:
+    def test_default(self):
+        cfg = BenchConfig.default()
+        assert cfg.object_cardinality == 10_000
+        assert cfg.c == 2
+
+    def test_quick_smaller_than_default(self):
+        quick, default = BenchConfig.quick(), BenchConfig.default()
+        assert quick.object_cardinality < default.object_cardinality
+        assert quick.queries_per_point < default.queries_per_point
+
+    def test_paper_matches_table2(self):
+        cfg = BenchConfig.paper()
+        assert cfg.object_cardinality == 100_000
+        assert cfg.cardinality_sweep == (50_000, 100_000, 500_000, 1_000_000)
+        assert cfg.radius == 0.01
+        assert cfg.radius_sweep == (0.005, 0.01, 0.02, 0.04, 0.08)
+        assert cfg.k_sweep == (5, 10, 20, 40, 80)
+        assert cfg.lam_sweep == (0.1, 0.3, 0.5, 0.7, 0.9)
+        assert cfg.keywords_sweep == (1, 3, 5, 7, 9)
+        assert cfg.c_sweep == (2, 3, 4, 5)
+        assert cfg.vocab_sweep == (64, 128, 192, 256)
+        assert cfg.queries_per_point == 1000
+
+    def test_radius_density_correction(self):
+        """Scaled grids keep pi*r^2*|O| roughly constant vs the paper."""
+        paper = BenchConfig.paper()
+        default = BenchConfig.default()
+        paper_density = paper.radius**2 * paper.object_cardinality
+        default_density = default.radius**2 * default.object_cardinality
+        assert default_density == pytest.approx(paper_density, rel=0.25)
+
+
+class TestEnvAndOverrides:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert BenchConfig.from_env() == BenchConfig.quick()
+
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert BenchConfig.from_env() == BenchConfig.default()
+
+    def test_from_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "enormous")
+        with pytest.raises(ValueError):
+            BenchConfig.from_env()
+
+    def test_with_overrides(self):
+        cfg = BenchConfig.default().with_overrides(k=99)
+        assert cfg.k == 99
+        assert cfg.radius == BenchConfig.default().radius

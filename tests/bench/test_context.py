@@ -1,0 +1,69 @@
+"""Tests for the benchmark context's caching behaviour."""
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.context import BenchContext
+from repro.core.query import Variant
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BenchContext(
+        BenchConfig(
+            object_cardinality=200,
+            feature_cardinality=200,
+            cardinality_sweep=(100, 200),
+            vocab_size=16,
+            real_scale=0.002,
+            queries_per_point=2,
+        )
+    )
+
+
+class TestCaching:
+    def test_objects_cached_by_cardinality(self, ctx):
+        assert ctx.objects() is ctx.objects()
+        assert ctx.objects(100) is not ctx.objects(200)
+
+    def test_feature_sets_cached_by_key(self, ctx):
+        assert ctx.feature_sets() is ctx.feature_sets()
+        assert ctx.feature_sets(c=3) is not ctx.feature_sets(c=2)
+
+    def test_processor_cached_per_index(self, ctx):
+        assert ctx.synthetic_processor("srt") is ctx.synthetic_processor("srt")
+        assert ctx.synthetic_processor("srt") is not ctx.synthetic_processor(
+            "ir2"
+        )
+
+    def test_real_bundle_cached(self, ctx):
+        assert ctx.real() is ctx.real()
+        assert ctx.real_processor("srt") is ctx.real_processor("srt")
+
+
+class TestWorkloads:
+    def test_workload_defaults_from_config(self, ctx):
+        queries = ctx.workload(ctx.feature_sets())
+        assert len(queries) == 2
+        assert queries[0].k == ctx.cfg.k
+        assert queries[0].radius == ctx.cfg.radius
+
+    def test_workload_overrides(self, ctx):
+        queries = ctx.workload(
+            ctx.feature_sets(),
+            variant=Variant.NEAREST,
+            n_queries=3,
+            k=7,
+            radius=0.2,
+            lam=0.9,
+            keywords_per_set=1,
+        )
+        assert len(queries) == 3
+        q = queries[0]
+        assert (q.k, q.radius, q.lam, q.variant) == (
+            7,
+            0.2,
+            0.9,
+            Variant.NEAREST,
+        )
+        assert all(m.bit_count() == 1 for m in q.keyword_masks)

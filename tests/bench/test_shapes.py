@@ -1,0 +1,74 @@
+"""Tests for the shape-claim validator."""
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.shapes import format_checks, validate
+from repro.bench.timing import Measurement
+
+
+def m(total, voronoi=0.0):
+    return Measurement(1, total, total / 2, total / 2, 0, 0, 0, voronoi, 0)
+
+
+def result_with(eid, x_values, srt_totals, ir2_totals, voronoi=0.0):
+    result = ExperimentResult(eid, "t", "ref", "x", list(x_values))
+    for total in srt_totals:
+        result.add("STPS/SRT", m(total, voronoi))
+    for total in ir2_totals:
+        result.add("STPS/IR2", m(total, voronoi))
+    return result
+
+
+class TestSrtWins:
+    def test_pass_when_srt_faster(self):
+        result = result_with("fig7a", [1, 2], [10, 20], [20, 40])
+        checks = validate(result)
+        srt_check = next(c for c in checks if "SRT" in c.claim)
+        assert srt_check.passed
+
+    def test_fail_when_srt_slower(self):
+        result = result_with("fig7a", [1, 2], [50, 60], [10, 20])
+        checks = validate(result)
+        srt_check = next(c for c in checks if "SRT" in c.claim)
+        assert not srt_check.passed
+
+
+class TestMonotone:
+    def test_radius_decreasing_claim(self):
+        good = result_with("fig8a", [1, 2, 3], [30, 20, 10], [35, 25, 15])
+        assert all(c.passed for c in validate(good))
+        bad = result_with("fig8a", [1, 2, 3], [10, 20, 30], [12, 25, 33])
+        radius_check = next(
+            c for c in validate(bad) if "decreases" in c.claim
+        )
+        assert not radius_check.passed
+
+    def test_k_increasing_claim(self):
+        good = result_with("fig9b", [5, 10], [10, 20], [12, 24])
+        k_check = next(c for c in validate(good) if "grows with k" in c.claim)
+        assert k_check.passed
+
+
+class TestFlatAndVoronoi:
+    def test_lambda_flat(self):
+        flat = result_with("fig8c", [0.1, 0.9], [10, 12], [11, 13])
+        lam_check = next(c for c in validate(flat) if "flat" in c.claim)
+        assert lam_check.passed
+        spiky = result_with("fig8c", [0.1, 0.9], [10, 100], [11, 90])
+        lam_check = next(c for c in validate(spiky) if "flat" in c.claim)
+        assert not lam_check.passed
+
+    def test_voronoi_material(self):
+        nn = result_with("fig13a", [1], [100], [110], voronoi=50.0)
+        v_check = next(c for c in validate(nn) if "Voronoi" in c.claim)
+        assert v_check.passed
+
+
+class TestFormat:
+    def test_pass_fail_lines(self):
+        result = result_with("fig7a", [1], [10], [20])
+        text = format_checks(validate(result))
+        assert "[PASS]" in text
+
+    def test_unknown_experiment_no_checks(self):
+        result = result_with("ablation_buffer", [1], [10], [20])
+        assert validate(result) == []

@@ -1,0 +1,64 @@
+"""Tests for result rendering (text tables and CSV)."""
+
+import csv
+import io
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.tables import format_result, result_from_csv, result_to_csv
+from repro.bench.timing import Measurement
+
+
+def sample_result(voronoi=0.0):
+    result = ExperimentResult(
+        "figX", "Sample", "Figure X", "k", [5, 10]
+    )
+    for label in ("STPS/SRT", "STPS/IR2"):
+        for _ in result.x_values:
+            result.add(
+                label,
+                Measurement(3, 12.5, 4.5, 8.0, 42.0, 10.0, 2.0, voronoi, 1.0),
+            )
+    return result
+
+
+class TestFormat:
+    def test_contains_series_and_rows(self):
+        text = format_result(sample_result())
+        assert "figX" in text
+        assert "Figure X" in text
+        assert "STPS/SRT" in text and "STPS/IR2" in text
+        assert "12.5ms" in text
+        assert text.count("io") >= 4
+
+    def test_voronoi_shown_when_present(self):
+        assert "voronoi" in format_result(sample_result(voronoi=3.0))
+        assert "voronoi" not in format_result(sample_result(voronoi=0.0))
+
+
+class TestCsv:
+    def test_csv_parses_and_has_all_rows(self):
+        text = result_to_csv(sample_result())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4  # 2 series x 2 x-values
+        assert rows[0]["experiment"] == "figX"
+        assert float(rows[0]["total_ms"]) == 12.5
+        assert float(rows[0]["io_reads"]) == 42.0
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_measurements(self):
+        original = sample_result(voronoi=3.0)
+        rebuilt = result_from_csv(result_to_csv(original))
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.x_values == original.x_values
+        assert set(rebuilt.series) == set(original.series)
+        for label in original.series:
+            for a, b in zip(original.series[label], rebuilt.series[label]):
+                assert a.total_ms == b.total_ms
+                assert a.voronoi_ms == b.voronoi_ms
+
+    def test_empty_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            result_from_csv("experiment,paper_ref\n")

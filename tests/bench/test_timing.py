@@ -1,0 +1,43 @@
+"""Tests for workload measurement."""
+
+import pytest
+
+from repro.bench.timing import Measurement, measure
+from repro.core.query import PreferenceQuery
+
+
+def _queries(n=4):
+    return [
+        PreferenceQuery(k=3, radius=0.1, lam=0.5, keyword_masks=(0b11, 0b110))
+        for _ in range(n)
+    ]
+
+
+class TestMeasure:
+    def test_basic_fields(self, srt_processor):
+        m = measure(srt_processor, _queries(), warmup=1)
+        assert m.queries == 4
+        assert m.total_ms >= m.io_ms
+        assert m.total_ms == pytest.approx(m.cpu_ms + m.io_ms, rel=1e-6)
+
+    def test_cold_cache_more_io(self, srt_processor):
+        warm = measure(srt_processor, _queries(), cold_cache=False)
+        cold = measure(srt_processor, _queries(), cold_cache=True)
+        assert cold.io_reads >= warm.io_reads
+
+    def test_empty_workload_rejected(self, srt_processor):
+        with pytest.raises(ValueError):
+            measure(srt_processor, [])
+
+    def test_stds_algorithm(self, srt_processor):
+        m = measure(srt_processor, _queries(2), algorithm="stds")
+        assert m.queries == 2
+
+
+class TestMeasurementScaled:
+    def test_scaled(self):
+        m = Measurement(5, 10.0, 6.0, 4.0, 100.0, 50.0, 7.0, 2.0, 1.0)
+        s = m.scaled(2.0)
+        assert s.total_ms == 20.0
+        assert s.io_reads == 200.0
+        assert s.queries == 5

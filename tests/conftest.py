@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic datasets and built processors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.processor import QueryProcessor
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+VOCAB_SIZE = 32
+
+
+def make_feature_objects(
+    n: int, seed: int, vocab_size: int = VOCAB_SIZE, max_kw: int = 3
+) -> list[FeatureObject]:
+    """Deterministic random feature objects in the unit square."""
+    rng = random.Random(seed)
+    return [
+        FeatureObject(
+            i,
+            rng.random(),
+            rng.random(),
+            round(rng.random(), 3),
+            frozenset(rng.sample(range(vocab_size), rng.randint(1, max_kw))),
+        )
+        for i in range(n)
+    ]
+
+
+def make_data_objects(n: int, seed: int) -> list[DataObject]:
+    """Deterministic random data objects in the unit square."""
+    rng = random.Random(seed)
+    return [DataObject(i, rng.random(), rng.random()) for i in range(n)]
+
+
+def random_mask(rng: random.Random, terms: int = 3) -> int:
+    """A random query-keyword mask of ``terms`` distinct terms."""
+    mask = 0
+    for t in rng.sample(range(VOCAB_SIZE), terms):
+        mask |= 1 << t
+    return mask
+
+
+@pytest.fixture(scope="session")
+def vocab() -> Vocabulary:
+    return Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+
+
+@pytest.fixture(scope="session")
+def objects() -> ObjectDataset:
+    return ObjectDataset(make_data_objects(250, seed=10))
+
+
+@pytest.fixture(scope="session")
+def feature_sets(vocab) -> list[FeatureDataset]:
+    return [
+        FeatureDataset(make_feature_objects(150, seed=11), vocab, "A"),
+        FeatureDataset(make_feature_objects(150, seed=12), vocab, "B"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def srt_processor(objects, feature_sets) -> QueryProcessor:
+    return QueryProcessor.build(objects, feature_sets, index="srt")
+
+
+@pytest.fixture(scope="session")
+def ir2_processor(objects, feature_sets) -> QueryProcessor:
+    return QueryProcessor.build(objects, feature_sets, index="ir2")

@@ -1,0 +1,195 @@
+"""Tests for the brute-force oracle itself (hand-computed examples).
+
+The oracle validates the optimized algorithms, so it gets its own checks
+against the paper's worked example (Figures 2-4, Section 3)."""
+
+import math
+
+import pytest
+
+from repro.core.bruteforce import brute_force, component_score, object_score
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+# The paper's restaurants (Figure 2), with locations scaled by 1/10 to fit
+# the unit square.  Keywords as in the figure.
+VOCAB = Vocabulary(
+    [
+        "chinese", "asian", "greek", "mediterranean", "italian", "spanish",
+        "european", "buffet", "pizza", "sandwiches", "subs", "seafood",
+        "american", "coffee", "tea", "bistro",
+        "cake", "bread", "pastries", "cappuccino", "toast", "decaf",
+        "donuts", "iced-coffee", "muffins", "croissants", "espresso",
+        "macchiato",
+    ]
+)
+
+
+def _r(fid, name_kw, rating, x, y):
+    return FeatureObject(
+        fid, x / 10, y / 10, rating, VOCAB.encode(name_kw)
+    )
+
+
+RESTAURANTS = FeatureDataset(
+    [
+        _r(1, ["chinese", "asian"], 0.6, 1, 2),
+        _r(2, ["greek", "mediterranean"], 0.5, 4, 1),
+        _r(3, ["italian", "spanish", "european"], 0.8, 5, 8),
+        _r(4, ["chinese", "buffet"], 0.8, 2, 3),
+        _r(5, ["pizza", "sandwiches", "subs"], 0.9, 8, 4),
+        _r(6, ["pizza", "italian"], 0.8, 7, 6),
+        _r(7, ["seafood", "mediterranean"], 0.8, 6, 10),
+        _r(8, ["american", "coffee", "tea", "bistro"], 1.0, 3, 7),
+    ],
+    VOCAB,
+    "restaurants",
+)
+
+COFFEEHOUSES = FeatureDataset(
+    [
+        _r(1, ["cake", "bread", "pastries"], 0.6, 4, 1),
+        _r(2, ["cappuccino", "toast", "decaf"], 0.5, 4, 7),
+        _r(3, ["cake", "toast", "donuts"], 0.8, 3, 10),
+        _r(4, ["cappuccino", "iced-coffee", "tea"], 0.6, 6, 2),
+        _r(5, ["muffins", "croissants", "espresso"], 0.9, 5, 5),
+        _r(6, ["macchiato", "espresso", "decaf"], 1.0, 10, 3),
+        _r(7, ["muffins", "pastries", "espresso"], 0.7, 6, 9),
+        _r(8, ["croissants", "decaf", "tea"], 0.4, 7, 6),
+    ],
+    VOCAB,
+    "coffeehouses",
+)
+
+
+def mask_of(*terms):
+    m = 0
+    for t in terms:
+        m |= 1 << VOCAB.require_id(t)
+    return m
+
+
+class TestPaperExample:
+    """Reproduces the running example of Sections 3 and 6.4."""
+
+    def test_ontarios_pizza_is_best_restaurant(self):
+        # p at (6, 5)/10 as in Figure 4, r = 3.5/10.
+        q = PreferenceQuery(
+            k=1,
+            radius=0.35,
+            lam=0.5,
+            keyword_masks=(mask_of("italian", "pizza"),),
+        )
+        score = component_score(0.6, 0.5, RESTAURANTS, q.keyword_masks[0], q)
+        assert score == pytest.approx(0.9)  # s(r6) per the paper
+
+    def test_beijing_restaurant_score(self):
+        q = PreferenceQuery(
+            k=1,
+            radius=2.0,
+            lam=0.5,
+            keyword_masks=(mask_of("chinese",),),
+        )
+        # The best Chinese restaurant in range is r4 "Golden Wok"
+        # (rating 0.8, J = 1/2): s = 0.4 + 0.25 = 0.65 > s(r1) = 0.55.
+        score = component_score(0.1, 0.2, RESTAURANTS, q.keyword_masks[0], q)
+        assert score == pytest.approx(0.5 * 0.8 + 0.5 * 0.5)
+
+    def test_combined_score_section_3(self):
+        """τ(p) = s(r6) + s(c5) = 0.9 + 0.78333 ≈ 1.6833 (the paper
+        rounds 0.78233; (0.9 + 2/3 * ... ) -- check the exact Jaccard)."""
+        q = PreferenceQuery(
+            k=1,
+            radius=0.35,
+            lam=0.5,
+            keyword_masks=(
+                mask_of("italian", "pizza"),
+                mask_of("espresso", "muffins"),
+            ),
+        )
+        total = object_score(0.6, 0.5, [RESTAURANTS, COFFEEHOUSES], q)
+        # s(c5): rating 0.9, keywords {muffins, croissants, espresso},
+        # query {espresso, muffins}: J = 2/3 -> 0.45 + 1/3 = 0.78333.
+        assert total == pytest.approx(0.9 + 0.45 + 1.0 / 3.0, abs=1e-6)
+
+    def test_top3_data_objects_section_6_4(self):
+        """p6, p9, p10 of Figure 6 are the top-3 with equal scores."""
+        objects = ObjectDataset(
+            [
+                DataObject(6, 0.55, 0.55),
+                DataObject(9, 0.62, 0.48),
+                DataObject(10, 0.60, 0.52),
+                DataObject(1, 0.10, 0.90),
+                DataObject(2, 0.95, 0.10),
+            ]
+        )
+        q = PreferenceQuery(
+            k=3,
+            radius=0.35,
+            lam=0.5,
+            keyword_masks=(
+                mask_of("italian", "pizza"),
+                mask_of("espresso", "muffins"),
+            ),
+        )
+        result = brute_force(objects, [RESTAURANTS, COFFEEHOUSES], q)
+        assert sorted(result.oids) == [6, 9, 10]
+        for s in result.scores:
+            assert s == pytest.approx(0.9 + 0.78333, abs=1e-4)
+
+
+class TestVariantDefinitions:
+    def test_influence_decays_with_distance(self):
+        q = PreferenceQuery(
+            k=1,
+            radius=0.1,
+            lam=0.0,
+            keyword_masks=(mask_of("pizza"),),
+            variant=Variant.INFLUENCE,
+        )
+        near = component_score(0.7, 0.6, RESTAURANTS, q.keyword_masks[0], q)
+        far = component_score(0.1, 0.1, RESTAURANTS, q.keyword_masks[0], q)
+        assert near > far > 0.0
+
+    def test_influence_at_zero_distance_equals_s(self):
+        q = PreferenceQuery(
+            k=1,
+            radius=0.1,
+            lam=0.0,
+            keyword_masks=(mask_of("pizza"),),
+            variant=Variant.INFLUENCE,
+        )
+        # r6 is at (0.7, 0.6) with rating 0.8.
+        score = component_score(0.7, 0.6, RESTAURANTS, q.keyword_masks[0], q)
+        assert score == pytest.approx(0.8)
+
+    def test_nearest_picks_closest_relevant(self):
+        q = PreferenceQuery(
+            k=1,
+            radius=0.1,
+            lam=0.0,
+            keyword_masks=(mask_of("pizza"),),
+            variant=Variant.NEAREST,
+        )
+        # From (0.8, 0.45): r5 (pizza, at (0.8, 0.4)) is nearest relevant.
+        score = component_score(0.8, 0.45, RESTAURANTS, q.keyword_masks[0], q)
+        assert score == pytest.approx(0.9)  # r5's rating with lam=0
+
+    def test_range_empty_neighborhood_scores_zero(self):
+        q = PreferenceQuery(
+            k=1,
+            radius=0.01,
+            lam=0.5,
+            keyword_masks=(mask_of("pizza"),),
+        )
+        assert component_score(0.0, 0.99, RESTAURANTS, q.keyword_masks[0], q) == 0.0
+
+
+class TestValidation:
+    def test_feature_set_count_mismatch(self):
+        q = PreferenceQuery(k=1, radius=0.1, lam=0.5, keyword_masks=(1, 1))
+        with pytest.raises(QueryError):
+            brute_force(ObjectDataset([]), [RESTAURANTS], q)

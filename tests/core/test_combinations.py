@@ -1,0 +1,210 @@
+"""Tests for the valid-combination iterator (Algorithm 4)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.combinations import (
+    PULL_PRIORITIZED,
+    PULL_ROUND_ROBIN,
+    CombinationIterator,
+)
+from repro.core.query import PreferenceQuery
+from repro.errors import QueryError
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.text.similarity import jaccard
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_feature_objects, random_mask
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+    sets = [
+        FeatureDataset(make_feature_objects(60, seed=61), vocab, "A"),
+        FeatureDataset(make_feature_objects(60, seed=62), vocab, "B"),
+    ]
+    trees = [SRTIndex.build(fs) for fs in sets]
+    return sets, trees
+
+
+def feature_score(f, mask, lam=0.5):
+    fm = f.keyword_mask()
+    if not fm & mask:
+        return None
+    return (1 - lam) * f.score + lam * jaccard(fm, mask)
+
+
+def brute_combinations(sets, masks, radius, enforce_2r, lam=0.5):
+    """All valid combinations (including virtual slots) with scores."""
+    per_set = []
+    for fs, mask in zip(sets, masks):
+        scored = [
+            (feature_score(f, mask, lam), f)
+            for f in fs
+            if feature_score(f, mask, lam) is not None
+        ]
+        scored.append((0.0, None))  # the virtual feature
+        per_set.append(scored)
+    combos = []
+    for combo in itertools.product(*per_set):
+        feats = [f for _, f in combo]
+        if enforce_2r:
+            real = [f for f in feats if f is not None]
+            ok = all(
+                math.hypot(a.x - b.x, a.y - b.y) <= 2 * radius
+                for a, b in itertools.combinations(real, 2)
+            )
+            if not ok:
+                continue
+        combos.append(round(sum(s for s, _ in combo), 9))
+    combos.sort(reverse=True)
+    return combos
+
+
+class TestFullEnumeration:
+    @pytest.mark.parametrize("enforce_2r", [True, False])
+    def test_matches_brute_force_order(self, small_world, enforce_2r):
+        sets, trees = small_world
+        rng = random.Random(3)
+        masks = (random_mask(rng, 2), random_mask(rng, 2))
+        query = PreferenceQuery(
+            k=5, radius=0.15, lam=0.5, keyword_masks=masks
+        )
+        iterator = CombinationIterator(trees, query, enforce_2r=enforce_2r)
+        got = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            got.append(round(combo.score, 9))
+        expected = brute_combinations(sets, masks, 0.15, enforce_2r)
+        assert got == expected
+
+    def test_scores_non_increasing(self, small_world):
+        _, trees = small_world
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b111, 0b1110)
+        )
+        iterator = CombinationIterator(trees, query)
+        prev = math.inf
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            assert combo.score <= prev + 1e-9
+            prev = combo.score
+
+    def test_no_duplicate_combinations(self, small_world):
+        _, trees = small_world
+        query = PreferenceQuery(
+            k=5, radius=0.2, lam=0.5, keyword_masks=(0b11, 0b1100)
+        )
+        iterator = CombinationIterator(trees, query, enforce_2r=False)
+        seen = set()
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            key = tuple(f.fid for f in combo.features)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestValidity:
+    def test_2r_filter(self, small_world):
+        _, trees = small_world
+        radius = 0.05
+        query = PreferenceQuery(
+            k=5, radius=radius, lam=0.5, keyword_masks=(0b111, 0b111)
+        )
+        iterator = CombinationIterator(trees, query, enforce_2r=True)
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            real = [f for f in combo.features if not f.is_virtual]
+            for a, b in itertools.combinations(real, 2):
+                assert math.hypot(a.x - b.x, a.y - b.y) <= 2 * radius + 1e-12
+
+    def test_all_virtual_appears_last(self, small_world):
+        _, trees = small_world
+        query = PreferenceQuery(
+            k=5, radius=0.3, lam=0.5, keyword_masks=(0b1, 0b1)
+        )
+        iterator = CombinationIterator(trees, query, enforce_2r=False)
+        combos = []
+        while True:
+            c = iterator.next()
+            if c is None:
+                break
+            combos.append(c)
+        assert combos[-1].is_all_virtual
+        assert combos[-1].score == 0.0
+
+
+class TestPullingStrategies:
+    @pytest.mark.parametrize("pulling", [PULL_PRIORITIZED, PULL_ROUND_ROBIN])
+    def test_same_output_any_strategy(self, small_world, pulling):
+        sets, trees = small_world
+        masks = (0b1010, 0b0101)
+        query = PreferenceQuery(k=5, radius=0.1, lam=0.5, keyword_masks=masks)
+        iterator = CombinationIterator(trees, query, pulling=pulling)
+        got = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            got.append(round(combo.score, 9))
+        assert got == brute_combinations(sets, masks, 0.1, True)
+
+    def test_prioritized_pulls_no_more_than_round_robin(self, small_world):
+        """Definition 5's point: pull where the threshold lives."""
+        _, trees = small_world
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b110011, 0b1100)
+        )
+        pulls = {}
+        for strategy in (PULL_PRIORITIZED, PULL_ROUND_ROBIN):
+            iterator = CombinationIterator(trees, query, pulling=strategy)
+            for _ in range(5):
+                if iterator.next() is None:
+                    break
+            pulls[strategy] = iterator.features_pulled
+        assert pulls[PULL_PRIORITIZED] <= pulls[PULL_ROUND_ROBIN] + 2
+
+    def test_unknown_strategy_rejected(self, small_world):
+        _, trees = small_world
+        query = PreferenceQuery(k=5, radius=0.1, lam=0.5, keyword_masks=(1, 1))
+        with pytest.raises(QueryError):
+            CombinationIterator(trees, query, pulling="bogus")
+
+
+class TestValidation:
+    def test_tree_count_mismatch(self, small_world):
+        _, trees = small_world
+        query = PreferenceQuery(k=5, radius=0.1, lam=0.5, keyword_masks=(1,))
+        with pytest.raises(QueryError):
+            CombinationIterator(trees, query)
+
+    def test_three_sets(self, small_world):
+        sets, _ = small_world
+        vocab = sets[0].vocabulary
+        extra = FeatureDataset(make_feature_objects(40, seed=63), vocab, "C")
+        trees3 = [SRTIndex.build(fs) for fs in [*sets, extra]]
+        masks = (0b11, 0b110, 0b1010)
+        query = PreferenceQuery(k=3, radius=0.2, lam=0.5, keyword_masks=masks)
+        iterator = CombinationIterator(trees3, query, enforce_2r=False)
+        got = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            got.append(round(combo.score, 9))
+        expected = brute_combinations(
+            [*sets, extra], masks, 0.2, enforce_2r=False
+        )
+        assert got == expected

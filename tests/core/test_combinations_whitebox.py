@@ -1,0 +1,104 @@
+"""White-box tests for the combination iterator's internals."""
+
+import pytest
+
+from repro.core.combinations import CombinationIterator
+from repro.core.query import PreferenceQuery
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.model.objects import FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+VOCAB = Vocabulary(["a", "b"])
+
+
+def make_tree(scores, x0=0.1):
+    """One feature per score, all relevant to keyword 'a', spread on x."""
+    features = [
+        FeatureObject(i, x0 + 0.01 * i, 0.5, s, frozenset({0}))
+        for i, s in enumerate(scores)
+    ]
+    return SRTIndex.build(FeatureDataset(features, VOCAB, "wb"))
+
+
+def query(radius=1.0):
+    return PreferenceQuery(k=3, radius=radius, lam=0.0, keyword_masks=(1, 1))
+
+
+class TestLatticeEnumeration:
+    def test_blocked_successors_flush_on_pull(self):
+        """A successor index beyond the pulled prefix must wait, then
+        appear once the stream delivers the missing element."""
+        trees = [make_tree([0.9, 0.8, 0.7]), make_tree([0.9, 0.5])]
+        iterator = CombinationIterator(trees, query(), enforce_2r=False)
+        scores = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            scores.append(round(combo.score, 6))
+        # Full product (incl. one virtual per set): (3+1) x (2+1) = 12.
+        assert len(scores) == 12
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == pytest.approx(1.8)
+        assert scores[-1] == pytest.approx(0.0)
+
+    def test_no_successor_beyond_virtual(self):
+        """The virtual feature terminates each axis of the lattice."""
+        trees = [make_tree([0.9]), make_tree([0.8])]
+        iterator = CombinationIterator(trees, query(), enforce_2r=False)
+        combos = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            combos.append(combo)
+        assert len(combos) == 4  # (1+virtual) x (1+virtual)
+        assert combos[-1].is_all_virtual
+
+    def test_set_max_tightened_on_first_pull(self):
+        trees = [make_tree([0.6, 0.5]), make_tree([0.4])]
+        iterator = CombinationIterator(trees, query(), enforce_2r=False)
+        # After construction each stream was pulled once: set_max exact.
+        assert iterator.set_max[0] == pytest.approx(0.6)
+        assert iterator.set_max[1] == pytest.approx(0.4)
+
+    def test_threshold_drops_as_streams_drain(self):
+        trees = [make_tree([0.9, 0.1]), make_tree([0.8, 0.2])]
+        iterator = CombinationIterator(trees, query(), enforce_2r=False)
+        first = iterator._threshold()
+        while iterator.next() is not None:
+            pass
+        assert iterator._threshold() == float("-inf")
+        assert first > 0.0
+
+    def test_features_pulled_counter(self):
+        trees = [make_tree([0.9, 0.8]), make_tree([0.7])]
+        iterator = CombinationIterator(trees, query(), enforce_2r=False)
+        while iterator.next() is not None:
+            pass
+        assert iterator.features_pulled == 3  # virtuals not counted
+
+
+class TestValidityFilter:
+    def test_far_pair_filtered_near_pair_kept(self):
+        left = make_tree([0.9], x0=0.1)
+        right = make_tree([0.8], x0=0.9)
+        iterator = CombinationIterator(
+            [left, right], query(radius=0.05), enforce_2r=True
+        )
+        combos = []
+        while True:
+            combo = iterator.next()
+            if combo is None:
+                break
+            combos.append(combo)
+        # (t1, t2) is invalid (0.8 apart > 2r = 0.1); the singles with a
+        # virtual partner and the all-virtual combination survive.
+        keys = [
+            tuple(f.is_virtual for f in combo.features) for combo in combos
+        ]
+        assert (False, False) not in keys
+        assert (False, True) in keys
+        assert (True, False) in keys
+        assert (True, True) in keys

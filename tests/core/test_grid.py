@@ -1,0 +1,83 @@
+"""Tests for the spatial grid used by batched STDS."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import SpatialGrid
+from repro.errors import QueryError
+from repro.geometry.rect import Rect
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestBasics:
+    def test_insert_remove(self):
+        g = SpatialGrid(0.1)
+        g.insert(1, 0.5, 0.5)
+        assert len(g) == 1
+        g.remove(1, 0.5, 0.5)
+        assert g.is_empty
+
+    def test_duplicate_insert_rejected(self):
+        g = SpatialGrid(0.1)
+        g.insert(1, 0.5, 0.5)
+        with pytest.raises(QueryError):
+            g.insert(1, 0.5, 0.5)
+
+    def test_remove_missing_rejected(self):
+        g = SpatialGrid(0.1)
+        with pytest.raises(QueryError):
+            g.remove(1, 0.5, 0.5)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(QueryError):
+            SpatialGrid(0.0)
+
+    def test_negative_coordinates_supported(self):
+        g = SpatialGrid(0.1)
+        g.insert(1, -0.05, -0.05)
+        assert [oid for oid, _, _ in g.near_point(0.0, 0.0, 0.1)] == [1]
+
+
+class TestQueries:
+    def setup_method(self):
+        rng = random.Random(8)
+        self.points = [(i, rng.random(), rng.random()) for i in range(300)]
+        self.grid = SpatialGrid(0.05)
+        self.grid.bulk_insert(self.points)
+
+    def test_near_point_matches_brute_force(self):
+        for cx, cy, r in [(0.5, 0.5, 0.1), (0.05, 0.9, 0.2), (1.0, 1.0, 0.05)]:
+            got = sorted(oid for oid, _, _ in self.grid.near_point(cx, cy, r))
+            want = sorted(
+                i
+                for i, x, y in self.points
+                if math.hypot(x - cx, y - cy) <= r
+            )
+            assert got == want
+
+    def test_near_rect_matches_brute_force(self):
+        rect = Rect((0.3, 0.3), (0.5, 0.6))
+        r = 0.07
+        got = sorted(oid for oid, _, _ in self.grid.near_rect(rect, r))
+        want = sorted(
+            i for i, x, y in self.points if rect.mindist((x, y)) <= r
+        )
+        assert got == want
+
+    def test_any_near_rect(self):
+        assert self.grid.any_near_rect(Rect((0.4, 0.4), (0.6, 0.6)), 0.01)
+        empty_grid = SpatialGrid(0.05)
+        assert not empty_grid.any_near_rect(Rect((0.0, 0.0), (1.0, 1.0)), 1.0)
+
+    @given(unit, unit, st.floats(min_value=0.001, max_value=0.3))
+    @settings(max_examples=30)
+    def test_near_point_property(self, cx, cy, r):
+        got = {oid for oid, _, _ in self.grid.near_point(cx, cy, r)}
+        for i, x, y in self.points:
+            inside = math.hypot(x - cx, y - cy) <= r
+            assert (i in got) == inside

@@ -1,0 +1,107 @@
+"""Tests for the influence-score STPS (Algorithm 5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force
+from repro.core.influence import _combo_influence_bound, stps_influence
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError
+from tests.conftest import random_mask
+
+
+def _q(masks, k=5, radius=0.08, lam=0.5):
+    return PreferenceQuery(
+        k=k,
+        radius=radius,
+        lam=lam,
+        keyword_masks=masks,
+        variant=Variant.INFLUENCE,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index", ["srt", "ir2"])
+    def test_matches_brute_force(self, request, objects, feature_sets, index):
+        processor = request.getfixturevalue(f"{index}_processor")
+        rng = random.Random(31)
+        for _ in range(4):
+            query = _q((random_mask(rng), random_mask(rng)))
+            got = stps_influence(
+                processor.object_tree, processor.feature_trees, query
+            )
+            want = brute_force(objects, feature_sets, query)
+            assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    @pytest.mark.parametrize("radius", [0.01, 0.3])
+    def test_radius_extremes(self, srt_processor, objects, feature_sets, radius):
+        query = _q((0b110, 0b1010), radius=radius)
+        got = stps_influence(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        want = brute_force(objects, feature_sets, query)
+        assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_k_one(self, srt_processor, objects, feature_sets):
+        query = _q((0b11, 0b11), k=1)
+        got = stps_influence(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        want = brute_force(objects, feature_sets, query)
+        assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_rare_keyword(self, srt_processor, objects, feature_sets):
+        query = _q((1 << 31, 1 << 30))
+        got = stps_influence(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        want = brute_force(objects, feature_sets, query)
+        assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_wrong_variant_rejected(self, srt_processor):
+        query = PreferenceQuery(k=5, radius=0.1, lam=0.5, keyword_masks=(1, 1))
+        with pytest.raises(QueryError):
+            stps_influence(
+                srt_processor.object_tree, srt_processor.feature_trees, query
+            )
+
+
+class TestInfluenceBound:
+    """The distance-aware pruning bound must dominate any point's score."""
+
+    def test_single_member(self):
+        assert _combo_influence_bound([(0.5, 0.5, 0.8)], 0.1) == 0.8
+
+    def test_colocated_members_sum(self):
+        members = [(0.5, 0.5, 0.6), (0.5, 0.5, 0.7)]
+        assert _combo_influence_bound(members, 0.1) == pytest.approx(1.3)
+
+    def test_far_members_bound_near_max(self):
+        members = [(0.0, 0.0, 0.9), (1.0, 1.0, 0.9)]
+        bound = _combo_influence_bound(members, 0.01)
+        assert bound < 0.91  # cannot collect both
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dominates_grid_of_points(self, seed):
+        rng = random.Random(seed)
+        members = [
+            (rng.random(), rng.random(), rng.random()) for _ in range(3)
+        ]
+        radius = 0.05 + rng.random() * 0.2
+        bound = _combo_influence_bound(members, radius)
+        for _ in range(500):
+            px, py = rng.random(), rng.random()
+            score = sum(
+                s * 2 ** (-math.hypot(px - x, py - y) / radius)
+                for x, y, s in members
+            )
+            assert score <= bound + 1e-9
+
+    def test_dominated_by_sum(self):
+        rng = random.Random(42)
+        members = [(rng.random(), rng.random(), rng.random()) for _ in range(4)]
+        assert _combo_influence_bound(members, 0.1) <= sum(
+            s for _, _, s in members
+        ) + 1e-12

@@ -1,0 +1,109 @@
+"""Tests for the ISS extension algorithm (combination-free influence)."""
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force
+from repro.core.influence_search import influence_search
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError
+from tests.conftest import random_mask
+
+
+def _q(masks, k=5, radius=0.08, lam=0.5):
+    return PreferenceQuery(
+        k=k,
+        radius=radius,
+        lam=lam,
+        keyword_masks=masks,
+        variant=Variant.INFLUENCE,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index", ["srt", "ir2"])
+    def test_matches_brute_force(self, request, objects, feature_sets, index):
+        processor = request.getfixturevalue(f"{index}_processor")
+        rng = random.Random(41)
+        for _ in range(4):
+            query = _q((random_mask(rng), random_mask(rng)))
+            got = influence_search(
+                processor.object_tree, processor.feature_trees, query
+            )
+            want = brute_force(objects, feature_sets, query)
+            assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_matches_stps_influence(self, srt_processor):
+        """The two exact influence algorithms must agree."""
+        rng = random.Random(43)
+        for _ in range(3):
+            query = _q((random_mask(rng), random_mask(rng)), k=7)
+            a = srt_processor.query(query, algorithm="stps").scores
+            b = srt_processor.query(query, algorithm="iss").scores
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_k_exceeds_objects(self, srt_processor, objects):
+        query = _q((0b11, 0b11), k=10_000)
+        got = influence_search(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert len(got) == len(objects)
+
+    def test_no_relevant_features(self, srt_processor):
+        query = _q((1 << 31, 1 << 31), k=3)
+        got = influence_search(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert len(got) == 3  # zero-score objects still returned
+
+    def test_wrong_variant_rejected(self, srt_processor):
+        query = PreferenceQuery(k=3, radius=0.1, lam=0.5, keyword_masks=(1, 1))
+        with pytest.raises(QueryError):
+            influence_search(
+                srt_processor.object_tree, srt_processor.feature_trees, query
+            )
+
+    def test_set_count_mismatch(self, srt_processor):
+        query = _q((1,))
+        with pytest.raises(QueryError):
+            influence_search(
+                srt_processor.object_tree, srt_processor.feature_trees, query
+            )
+
+
+class TestBehaviour:
+    def test_results_sorted_and_unique(self, srt_processor):
+        query = _q((0b111, 0b111), k=20)
+        result = influence_search(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert result.scores == sorted(result.scores, reverse=True)
+        assert len(set(result.oids)) == len(result.oids)
+
+    def test_exact_evaluations_bounded_by_objects(self, srt_processor, objects):
+        """ISS evaluates each object at most once — its worst case is a
+        batched scan, never the combination product of Algorithm 5."""
+        query = _q((0b1111, 0b1111), k=3)
+        result = influence_search(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert result.stats.objects_scored <= len(objects)
+
+    def test_pruning_with_fine_grained_leaves(self):
+        """With small pages (tight leaf MBRs) the lazy bounds do prune:
+        far fewer exact evaluations than objects."""
+        from repro.core.processor import QueryProcessor
+        from repro.data.synthetic import (
+            synthetic_feature_sets,
+            synthetic_objects,
+        )
+
+        objects = synthetic_objects(2000, seed=3)
+        feature_sets = synthetic_feature_sets(2, 2000, vocabulary=32, seed=4)
+        processor = QueryProcessor.build(objects, feature_sets, page_size=512)
+        query = _q((0b1111, 0b1111), k=3, radius=0.05)
+        result = influence_search(
+            processor.object_tree, processor.feature_trees, query
+        )
+        assert result.stats.objects_scored < len(objects) / 2

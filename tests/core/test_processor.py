@@ -1,0 +1,89 @@
+"""Tests for the QueryProcessor facade."""
+
+import pytest
+
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError
+
+
+def _q(variant=Variant.RANGE):
+    return PreferenceQuery(
+        k=5, radius=0.08, lam=0.5, keyword_masks=(0b11, 0b110), variant=variant
+    )
+
+
+class TestBuild:
+    def test_build_srt_default(self, objects, feature_sets):
+        processor = QueryProcessor.build(objects, feature_sets)
+        from repro.index.srt import SRTIndex
+
+        assert all(isinstance(t, SRTIndex) for t in processor.feature_trees)
+
+    def test_build_ir2(self, objects, feature_sets):
+        processor = QueryProcessor.build(objects, feature_sets, index="ir2")
+        from repro.index.ir2 import IR2Tree
+
+        assert all(isinstance(t, IR2Tree) for t in processor.feature_trees)
+
+    def test_unknown_index_rejected(self, objects, feature_sets):
+        with pytest.raises(QueryError):
+            QueryProcessor.build(objects, feature_sets, index="btree")
+
+    def test_no_feature_trees_rejected(self, srt_processor):
+        with pytest.raises(QueryError):
+            QueryProcessor(srt_processor.object_tree, [])
+
+    def test_insert_method_build(self, objects, feature_sets):
+        processor = QueryProcessor.build(
+            objects, feature_sets, method="insert"
+        )
+        for tree in processor.feature_trees:
+            tree.validate()
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "variant", [Variant.RANGE, Variant.INFLUENCE, Variant.NEAREST]
+    )
+    @pytest.mark.parametrize("algorithm", ["stps", "stds"])
+    def test_all_paths_run(self, srt_processor, variant, algorithm):
+        result = srt_processor.query(_q(variant), algorithm=algorithm)
+        assert len(result) == 5
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_stds_and_stps_agree(self, srt_processor):
+        q = _q()
+        a = srt_processor.query(q, algorithm="stps")
+        b = srt_processor.query(q, algorithm="stds")
+        assert a.scores == pytest.approx(b.scores, abs=1e-9)
+
+    def test_unknown_algorithm(self, srt_processor):
+        with pytest.raises(QueryError):
+            srt_processor.query(_q(), algorithm="magic")
+
+
+class TestBufferControl:
+    def test_clear_buffers_forces_physical_reads(self, objects, feature_sets):
+        processor = QueryProcessor.build(objects, feature_sets)
+        processor.query(_q())
+        processor.reset_stats()
+        processor.query(_q())
+        warm_reads = processor.object_tree.stats.reads + sum(
+            t.stats.reads for t in processor.feature_trees
+        )
+        processor.clear_buffers()
+        processor.reset_stats()
+        processor.query(_q())
+        cold_reads = processor.object_tree.stats.reads + sum(
+            t.stats.reads for t in processor.feature_trees
+        )
+        assert cold_reads > warm_reads
+
+    def test_reset_stats(self, srt_processor):
+        srt_processor.query(_q())
+        srt_processor.reset_stats()
+        assert srt_processor.object_tree.stats.reads == 0
+        assert all(
+            t.stats.reads == 0 for t in srt_processor.feature_trees
+        )

@@ -1,0 +1,90 @@
+"""Tests for result containers and stats tracking."""
+
+import pytest
+
+from repro.core.results import (
+    QueryResult,
+    QueryStats,
+    ResultItem,
+    StatsTracker,
+    rank_items,
+)
+from repro.storage.page import Page
+from repro.storage.pagefile import MemoryPageFile
+
+
+class TestRankItems:
+    def test_orders_by_score_then_oid(self):
+        items = rank_items(
+            [(0.5, 2, 0, 0), (0.9, 7, 0, 0), (0.5, 1, 0, 0)], k=3
+        )
+        assert [(i.oid, i.score) for i in items] == [
+            (7, 0.9),
+            (1, 0.5),
+            (2, 0.5),
+        ]
+
+    def test_truncates_to_k(self):
+        items = rank_items([(s / 10, s, 0, 0) for s in range(10)], k=3)
+        assert len(items) == 3
+        assert items[0].score == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert rank_items([], k=5) == []
+
+
+class TestQueryResult:
+    def test_accessors(self):
+        result = QueryResult(
+            [ResultItem(3, 0.9, 0.1, 0.2), ResultItem(5, 0.7, 0.3, 0.4)]
+        )
+        assert result.scores == [0.9, 0.7]
+        assert result.oids == [3, 5]
+        assert len(result) == 2
+
+
+class TestQueryStats:
+    def test_total_time_combines_cpu_and_io(self):
+        stats = QueryStats(wall_s=0.5, io_time_s=1.5)
+        assert stats.total_time_s == pytest.approx(2.0)
+        assert stats.cpu_time_s == pytest.approx(0.5)
+
+
+class TestStatsTracker:
+    def test_tracks_multiple_pagefiles(self):
+        pfs = [MemoryPageFile(128) for _ in range(2)]
+        for pf in pfs:
+            pid = pf.allocate()
+            pf.write(Page(pid, b"x"))
+        tracker = StatsTracker(pfs)
+        pfs[0].read(0)
+        pfs[1].read(0)
+        pfs[1].read(0)
+        stats = tracker.finish(QueryStats())
+        assert stats.io_reads == 3
+        assert stats.wall_s > 0
+        assert stats.io_time_s == pytest.approx(
+            3 * pfs[0].stats.page_read_cost_s
+        )
+
+    def test_ignores_activity_before_construction(self):
+        pf = MemoryPageFile(128)
+        pid = pf.allocate()
+        pf.write(Page(pid, b"x"))
+        pf.read(pid)  # before tracking
+        tracker = StatsTracker([pf])
+        stats = tracker.finish(QueryStats())
+        assert stats.io_reads == 0
+
+    def test_sub_phase_attribution(self):
+        pf = MemoryPageFile(128)
+        pid = pf.allocate()
+        pf.write(Page(pid, b"x"))
+        tracker = StatsTracker([pf])
+        pf.read(pid)
+        snap = tracker.io_snapshot()
+        pf.read(pid)
+        pf.read(pid)
+        reads, io_time = tracker.io_since(snap)
+        assert reads == 2
+        assert io_time == pytest.approx(2 * pf.stats.page_read_cost_s)

@@ -1,0 +1,130 @@
+"""Tests for STDS (Algorithms 1-2) and its batched/variant forms."""
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force, component_score
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.stds import (
+    compute_score,
+    compute_score_influence,
+    compute_score_nearest,
+    compute_scores_batch,
+    stds,
+)
+from repro.errors import QueryError
+from tests.conftest import random_mask
+
+
+def _q(masks, variant=Variant.RANGE, k=5, radius=0.08, lam=0.5):
+    return PreferenceQuery(
+        k=k, radius=radius, lam=lam, keyword_masks=masks, variant=variant
+    )
+
+
+class TestComputeScore:
+    """Algorithm 2 against the per-definition oracle, per variant."""
+
+    @pytest.mark.parametrize(
+        "variant,fn",
+        [
+            (Variant.RANGE, compute_score),
+            (Variant.INFLUENCE, compute_score_influence),
+            (Variant.NEAREST, compute_score_nearest),
+        ],
+    )
+    def test_matches_definition(
+        self, srt_processor, feature_sets, variant, fn
+    ):
+        rng = random.Random(17)
+        tree = srt_processor.feature_trees[0]
+        for _ in range(8):
+            mask = random_mask(rng)
+            point = (rng.random(), rng.random())
+            query = _q((mask, mask), variant=variant)
+            got = fn(tree, query, mask, point)
+            want = component_score(
+                point[0], point[1], feature_sets[0], mask, query
+            )
+            assert got == pytest.approx(want, abs=1e-9)
+
+    def test_empty_tree_scores_zero(self, feature_sets):
+        from repro.index.srt import SRTIndex
+        from repro.model.dataset import FeatureDataset
+
+        empty = SRTIndex.build(
+            FeatureDataset([], feature_sets[0].vocabulary, "e")
+        )
+        query = _q((1, 1))
+        assert compute_score(empty, query, 1, (0.5, 0.5)) == 0.0
+        assert compute_score_influence(empty, query, 1, (0.5, 0.5)) == 0.0
+        assert compute_score_nearest(empty, query, 1, (0.5, 0.5)) == 0.0
+
+
+class TestBatch:
+    def test_batch_matches_single(self, srt_processor, objects):
+        rng = random.Random(19)
+        tree = srt_processor.feature_trees[0]
+        mask = random_mask(rng)
+        query = _q((mask, mask))
+        pending = {o.oid: (o.x, o.y) for o in list(objects)[:60]}
+        batch_scores = compute_scores_batch(tree, query, mask, dict(pending))
+        for oid, (x, y) in pending.items():
+            single = compute_score(tree, query, mask, (x, y))
+            assert batch_scores[oid] == pytest.approx(single, abs=1e-9)
+
+    def test_empty_pending(self, srt_processor):
+        tree = srt_processor.feature_trees[0]
+        assert compute_scores_batch(tree, _q((1, 1)), 1, {}) == {}
+
+
+class TestFullSTDS:
+    @pytest.mark.parametrize(
+        "variant", [Variant.RANGE, Variant.INFLUENCE, Variant.NEAREST]
+    )
+    def test_matches_brute_force(
+        self, srt_processor, objects, feature_sets, variant
+    ):
+        rng = random.Random(23)
+        for _ in range(3):
+            masks = (random_mask(rng), random_mask(rng))
+            query = _q(masks, variant=variant)
+            got = stds(
+                srt_processor.object_tree, srt_processor.feature_trees, query
+            )
+            want = brute_force(objects, feature_sets, query)
+            assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_small_batch_size_still_correct(
+        self, srt_processor, objects, feature_sets
+    ):
+        query = _q((0b110, 0b1010))
+        got = stds(
+            srt_processor.object_tree,
+            srt_processor.feature_trees,
+            query,
+            batch_size=7,
+        )
+        want = brute_force(objects, feature_sets, query)
+        assert got.scores == pytest.approx(want.scores, abs=1e-9)
+
+    def test_k_larger_than_dataset(self, srt_processor, objects, feature_sets):
+        query = _q((0b1, 0b1), k=10_000)
+        got = stds(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert len(got) == len(objects)
+
+    def test_stats_populated(self, srt_processor):
+        query = _q((0b11, 0b11))
+        result = stds(
+            srt_processor.object_tree, srt_processor.feature_trees, query
+        )
+        assert result.stats.objects_scored > 0
+        assert result.stats.wall_s > 0
+
+    def test_feature_set_mismatch(self, srt_processor):
+        query = _q((1,))
+        with pytest.raises(QueryError):
+            stds(srt_processor.object_tree, srt_processor.feature_trees, query)

@@ -1,0 +1,135 @@
+"""Tests for the sorted feature stream (Algorithm 4, lines 3-7)."""
+
+import random
+
+import pytest
+
+from repro.core.stream import VIRTUAL_FID, FeatureStream, virtual_feature
+from repro.index.ir2 import IR2Tree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.text.similarity import jaccard
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_feature_objects, random_mask
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+    return FeatureDataset(make_feature_objects(300, seed=55), vocab, "s")
+
+
+@pytest.fixture(scope="module", params=[SRTIndex, IR2Tree])
+def tree(request, dataset):
+    return request.param.build(dataset)
+
+
+def brute_force_scores(dataset, mask, lam):
+    out = []
+    for f in dataset:
+        fm = f.keyword_mask()
+        if fm & mask:
+            out.append((round((1 - lam) * f.score + lam * jaccard(fm, mask), 12), f.fid))
+    out.sort(key=lambda t: (-t[0], t[1]))
+    return out
+
+
+class TestOrdering:
+    def test_descending_scores_and_completeness(self, tree, dataset):
+        rng = random.Random(1)
+        for _ in range(4):
+            mask = random_mask(rng)
+            stream = FeatureStream(tree, mask, 0.5)
+            got = []
+            while True:
+                f = stream.next()
+                if f is None:
+                    break
+                if not f.is_virtual:
+                    got.append((round(f.score, 12), f.fid))
+            expected = brute_force_scores(dataset, mask, 0.5)
+            # Same multiset, non-increasing order.
+            assert sorted(got) == sorted(expected)
+            scores = [s for s, _ in got]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_only_relevant_features_streamed(self, tree, dataset):
+        mask = 1 << 3
+        stream = FeatureStream(tree, mask, 0.5)
+        while True:
+            f = stream.next()
+            if f is None:
+                break
+            if f.is_virtual:
+                continue
+            assert dataset.get(f.fid).keyword_mask() & mask
+
+
+class TestVirtual:
+    def test_virtual_is_last(self, tree):
+        stream = FeatureStream(tree, 1 << 5, 0.5)
+        items = []
+        while True:
+            f = stream.next()
+            if f is None:
+                break
+            items.append(f)
+        assert items[-1].is_virtual
+        assert items[-1].score == 0.0
+        assert items[-1].fid == VIRTUAL_FID
+        assert sum(1 for f in items if f.is_virtual) == 1
+
+    def test_virtual_suppressed(self, tree):
+        stream = FeatureStream(tree, 1 << 5, 0.5, emit_virtual=False)
+        while True:
+            f = stream.next()
+            if f is None:
+                break
+            assert not f.is_virtual
+
+    def test_virtual_feature_helper(self):
+        v = virtual_feature()
+        assert v.is_virtual and v.score == 0.0
+
+
+class TestNextBound:
+    def test_bound_dominates_next(self, tree):
+        rng = random.Random(2)
+        mask = random_mask(rng)
+        stream = FeatureStream(tree, mask, 0.5)
+        while True:
+            bound = stream.next_bound
+            f = stream.next()
+            if f is None:
+                assert bound is None
+                break
+            assert bound is not None
+            assert f.score <= bound + 1e-9
+
+    def test_exhausted_flag(self, tree):
+        stream = FeatureStream(tree, 1 << 2, 0.5)
+        assert not stream.exhausted
+        while stream.next() is not None:
+            pass
+        assert stream.exhausted
+        assert stream.next() is None  # stays exhausted
+
+    def test_empty_tree_stream(self, dataset):
+        empty = SRTIndex.build(
+            FeatureDataset([], dataset.vocabulary, "empty")
+        )
+        stream = FeatureStream(empty, 0b1, 0.5)
+        f = stream.next()
+        assert f is not None and f.is_virtual
+        assert stream.next() is None
+
+    def test_pull_counter(self, tree):
+        stream = FeatureStream(tree, (1 << 1) | (1 << 9), 0.5)
+        n = 0
+        while True:
+            f = stream.next()
+            if f is None:
+                break
+            if not f.is_virtual:
+                n += 1
+        assert stream.pulled == n

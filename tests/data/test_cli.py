@@ -1,0 +1,37 @@
+"""Tests for the dataset-generation CLI."""
+
+import os
+
+from repro.data.cli import main
+from repro.data.io import load_features, load_objects
+
+
+class TestSyntheticCommand:
+    def test_generates_all_files(self, tmp_path, capsys):
+        out = str(tmp_path / "synth")
+        code = main([
+            "synthetic", "--objects", "50", "--features", "40",
+            "--sets", "2", "--vocab", "16", "--out", out,
+        ])
+        assert code == 0
+        objects = load_objects(os.path.join(out, "objects.jsonl"))
+        assert len(objects) == 50
+        for i in (1, 2):
+            fs = load_features(os.path.join(out, f"features_{i}.jsonl"))
+            assert len(fs) == 40
+            assert fs.vocabulary.size == 16
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestRealCommand:
+    def test_generates_bundle(self, tmp_path):
+        out = str(tmp_path / "real")
+        code = main(["real", "--scale", "0.002", "--out", out])
+        assert code == 0
+        hotels = load_objects(os.path.join(out, "hotels.jsonl"))
+        restaurants = load_features(os.path.join(out, "restaurants.jsonl"))
+        cafes = load_features(os.path.join(out, "coffeehouses.jsonl"))
+        assert len(hotels) >= 1
+        assert len(restaurants) >= 1
+        assert len(cafes) >= 1
+        assert restaurants.vocabulary == cafes.vocabulary

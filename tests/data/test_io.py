@@ -1,0 +1,71 @@
+"""Tests for dataset persistence (JSON lines)."""
+
+import pytest
+
+from repro.data.io import load_features, load_objects, save_features, save_objects
+from repro.data.realworld import real_world
+from repro.data.synthetic import synthetic_features, synthetic_objects
+from repro.errors import DatasetError
+
+
+class TestObjectsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ds = synthetic_objects(50, seed=1)
+        path = str(tmp_path / "objects.jsonl")
+        save_objects(ds, path)
+        loaded = load_objects(path)
+        assert len(loaded) == 50
+        assert [(o.oid, o.x, o.y) for o in loaded] == [
+            (o.oid, o.x, o.y) for o in ds
+        ]
+
+    def test_names_preserved(self, tmp_path):
+        data = real_world(scale=0.001, seed=2)
+        path = str(tmp_path / "hotels.jsonl")
+        save_objects(data.hotels, path)
+        loaded = load_objects(path)
+        assert [o.name for o in loaded] == [o.name for o in data.hotels]
+
+
+class TestFeaturesRoundtrip:
+    def test_roundtrip_with_vocabulary(self, tmp_path):
+        ds = synthetic_features(40, 16, seed=3, label="cafes")
+        path = str(tmp_path / "features.jsonl")
+        save_features(ds, path)
+        loaded = load_features(path)
+        assert loaded.label == "cafes"
+        assert loaded.vocabulary == ds.vocabulary
+        assert [(f.fid, f.score, f.keywords) for f in loaded] == [
+            (f.fid, f.score, f.keywords) for f in ds
+        ]
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(DatasetError):
+            load_objects("/nonexistent/path.jsonl")
+
+    def test_wrong_kind(self, tmp_path):
+        ds = synthetic_objects(5, seed=1)
+        path = str(tmp_path / "objects.jsonl")
+        save_objects(ds, path)
+        with pytest.raises(DatasetError):
+            load_features(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "kind": "objects"}\nnot-json\n')
+        with pytest.raises(DatasetError):
+            load_objects(str(path))
+
+    def test_missing_meta_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 0, "x": 0.1, "y": 0.2}\n')
+        with pytest.raises(DatasetError):
+            load_objects(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_objects(str(path))

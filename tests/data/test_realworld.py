@@ -1,0 +1,91 @@
+"""Tests for the factual-like real-world generator."""
+
+import math
+
+import pytest
+
+from repro.data.realworld import (
+    PAPER_HOTELS,
+    PAPER_RESTAURANTS,
+    cuisine_vocabulary,
+    real_world,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return real_world(scale=0.02, seed=1)
+
+
+class TestShape:
+    def test_cardinalities_scale(self, data):
+        assert len(data.hotels) == round(PAPER_HOTELS * 0.02)
+        assert len(data.restaurants) == round(PAPER_RESTAURANTS * 0.02)
+        assert len(data.coffeehouses) > 0
+
+    def test_vocabulary_size_matches_paper(self):
+        vocab = cuisine_vocabulary()
+        assert 120 <= vocab.size <= 140  # "around 130"
+
+    def test_feature_sets_property(self, data):
+        assert data.feature_sets == [data.restaurants, data.coffeehouses]
+
+    def test_everything_in_unit_square(self, data):
+        for h in data.hotels:
+            assert 0.0 <= h.x <= 1.0 and 0.0 <= h.y <= 1.0
+        for r in data.restaurants:
+            assert 0.0 <= r.x <= 1.0 and 0.0 <= r.y <= 1.0
+
+    def test_names_generated(self, data):
+        assert all(h.name for h in data.hotels)
+        assert all(r.name for r in data.restaurants)
+
+    def test_keywords_nonempty_and_in_vocab(self, data):
+        size = data.restaurants.vocabulary.size
+        for r in data.restaurants:
+            assert r.keywords
+            assert all(k < size for k in r.keywords)
+
+
+class TestDistribution:
+    def test_deterministic(self):
+        a = real_world(scale=0.01, seed=5)
+        b = real_world(scale=0.01, seed=5)
+        assert [(h.x, h.y) for h in a.hotels] == [(h.x, h.y) for h in b.hotels]
+
+    def test_few_clusters_vs_synthetic(self, data):
+        """Real-like data forms few clusters: hotels have very close
+        restaurant neighbors (same city)."""
+        hotels = list(data.hotels)[:40]
+        restaurants = list(data.restaurants)
+        dists = [
+            min(math.hypot(h.x - r.x, h.y - r.y) for r in restaurants)
+            for h in hotels
+        ]
+        assert sum(dists) / len(dists) < 0.02
+
+    def test_keyword_popularity_skewed(self, data):
+        """Cuisine tags follow a Zipf-like distribution."""
+        from collections import Counter
+
+        counts = Counter()
+        for r in data.restaurants:
+            counts.update(r.keywords)
+        freqs = sorted(counts.values(), reverse=True)
+        assert freqs[0] > 5 * freqs[len(freqs) // 2]
+
+    def test_ratings_mostly_good(self, data):
+        ratings = [r.score for r in data.restaurants]
+        assert 0.55 <= sum(ratings) / len(ratings) <= 0.85
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            real_world(scale=0.0)
+
+    def test_tiny_scale_still_valid(self):
+        data = real_world(scale=0.0001)
+        assert len(data.hotels) >= 1
+        assert len(data.restaurants) >= 1

@@ -1,0 +1,126 @@
+"""Tests for the synthetic clustered dataset generator."""
+
+import math
+
+import pytest
+
+from repro.data.synthetic import (
+    cluster_count_for,
+    data_keyword_distribution,
+    make_vocabulary,
+    synthetic_feature_sets,
+    synthetic_features,
+    synthetic_objects,
+)
+from repro.errors import DatasetError
+
+
+class TestClusterCount:
+    def test_paper_density(self):
+        assert cluster_count_for(100_000) == 10_000
+        assert cluster_count_for(50) == 5
+        assert cluster_count_for(3) == 1
+
+
+class TestObjects:
+    def test_cardinality_and_bounds(self):
+        ds = synthetic_objects(500, seed=1)
+        assert len(ds) == 500
+        for o in ds:
+            assert 0.0 <= o.x <= 1.0 and 0.0 <= o.y <= 1.0
+
+    def test_deterministic(self):
+        a = synthetic_objects(100, seed=7)
+        b = synthetic_objects(100, seed=7)
+        assert [(o.x, o.y) for o in a] == [(o.x, o.y) for o in b]
+
+    def test_seed_changes_data(self):
+        a = synthetic_objects(100, seed=7)
+        b = synthetic_objects(100, seed=8)
+        assert [(o.x, o.y) for o in a] != [(o.x, o.y) for o in b]
+
+    def test_clustering_is_real(self):
+        """Clustered data has far smaller NN distances than uniform."""
+        ds = synthetic_objects(400, seed=3, clusters=20, sigma=0.004)
+        pts = [(o.x, o.y) for o in ds]
+        nn = []
+        for i, p in enumerate(pts[:100]):
+            best = min(
+                math.hypot(p[0] - q[0], p[1] - q[1])
+                for j, q in enumerate(pts)
+                if i != j
+            )
+            nn.append(best)
+        assert sum(nn) / len(nn) < 0.01  # uniform would be ~0.025
+
+
+class TestFeatures:
+    def test_properties(self):
+        ds = synthetic_features(300, 64, seed=2, max_keywords=3)
+        assert len(ds) == 300
+        assert ds.vocabulary.size == 64
+        for f in ds:
+            assert 0.0 <= f.score <= 1.0
+            assert 1 <= len(f.keywords) <= 3
+
+    def test_shared_space_seed_colocates(self):
+        objs = synthetic_objects(200, seed=1, clusters=10)
+        feats = synthetic_features(200, 32, seed=9, clusters=10)
+        min_dists = []
+        for o in list(objs)[:50]:
+            d = min(math.hypot(o.x - f.x, o.y - f.y) for f in feats)
+            min_dists.append(d)
+        assert sum(min_dists) / len(min_dists) < 0.02
+
+    def test_private_space_seed_separates(self):
+        objs = synthetic_objects(200, seed=1, clusters=10, space_seed=None)
+        feats = synthetic_features(
+            200, 32, seed=9, clusters=10, space_seed=1234
+        )
+        min_dists = [
+            min(math.hypot(o.x - f.x, o.y - f.y) for f in feats)
+            for o in list(objs)[:50]
+        ]
+        # Different cluster centers: typical NN distance much larger.
+        assert sum(min_dists) / len(min_dists) > 0.01
+
+    def test_bad_max_keywords(self):
+        with pytest.raises(DatasetError):
+            synthetic_features(10, 16, max_keywords=0)
+
+
+class TestFeatureSets:
+    def test_shared_vocabulary(self):
+        sets = synthetic_feature_sets(3, 100, 32, seed=5)
+        assert len(sets) == 3
+        assert sets[0].vocabulary is sets[1].vocabulary
+
+    def test_distinct_contents(self):
+        sets = synthetic_feature_sets(2, 100, 32, seed=5)
+        a = [(f.x, f.y) for f in sets[0]]
+        b = [(f.x, f.y) for f in sets[1]]
+        assert a != b
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(DatasetError):
+            synthetic_feature_sets(0, 10, 16)
+
+
+class TestVocabularyAndDistribution:
+    def test_make_vocabulary(self):
+        v = make_vocabulary(10)
+        assert v.size == 10
+        with pytest.raises(DatasetError):
+            make_vocabulary(0)
+
+    def test_keyword_distribution_weights(self):
+        ds = synthetic_features(200, 16, seed=4)
+        dist = data_keyword_distribution(ds)
+        assert len(dist) == sum(len(f.keywords) for f in ds)
+
+    def test_empty_distribution_rejected(self):
+        from repro.model.dataset import FeatureDataset
+        from repro.text.vocabulary import Vocabulary
+
+        with pytest.raises(DatasetError):
+            data_keyword_distribution(FeatureDataset([], Vocabulary(["a"])))

@@ -1,0 +1,62 @@
+"""Tests for query-workload generation."""
+
+import pytest
+
+from repro.core.query import Variant
+from repro.data.synthetic import synthetic_feature_sets
+from repro.data.workload import WorkloadSpec, make_workload
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def feature_sets():
+    return synthetic_feature_sets(2, 200, 32, seed=3)
+
+
+class TestWorkload:
+    def test_count_and_parameters(self, feature_sets):
+        spec = WorkloadSpec(
+            n_queries=25, k=7, radius=0.02, lam=0.3, keywords_per_set=2
+        )
+        queries = make_workload(feature_sets, spec)
+        assert len(queries) == 25
+        for q in queries:
+            assert q.k == 7
+            assert q.radius == 0.02
+            assert q.lam == 0.3
+            assert q.c == 2
+            for mask in q.keyword_masks:
+                assert 1 <= mask.bit_count() <= 2
+
+    def test_deterministic_per_seed(self, feature_sets):
+        spec = WorkloadSpec(n_queries=10, seed=4)
+        a = make_workload(feature_sets, spec)
+        b = make_workload(feature_sets, spec)
+        assert [q.keyword_masks for q in a] == [q.keyword_masks for q in b]
+
+    def test_seeds_differ(self, feature_sets):
+        a = make_workload(feature_sets, WorkloadSpec(n_queries=10, seed=1))
+        b = make_workload(feature_sets, WorkloadSpec(n_queries=10, seed=2))
+        assert [q.keyword_masks for q in a] != [q.keyword_masks for q in b]
+
+    def test_variant_passthrough(self, feature_sets):
+        spec = WorkloadSpec(n_queries=3, variant=Variant.NEAREST)
+        for q in make_workload(feature_sets, spec):
+            assert q.variant is Variant.NEAREST
+
+    def test_keywords_follow_data_distribution(self, feature_sets):
+        """Query keywords must be keywords that occur in the data."""
+        spec = WorkloadSpec(n_queries=50, keywords_per_set=3, seed=9)
+        data_masks = [0, 0]
+        for i, fs in enumerate(feature_sets):
+            for f in fs:
+                data_masks[i] |= f.keyword_mask()
+        for q in make_workload(feature_sets, spec):
+            for mask, data_mask in zip(q.keyword_masks, data_masks):
+                assert mask & ~data_mask == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(DatasetError):
+            WorkloadSpec(n_queries=0)
+        with pytest.raises(DatasetError):
+            WorkloadSpec(keywords_per_set=0)

@@ -1,0 +1,63 @@
+"""Tests for half-planes and perpendicular bisectors."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.halfplane import HalfPlane, bisector_halfplane
+from repro.geometry.point import dist
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+pts = st.tuples(unit, unit)
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)  # x <= 0.5
+        assert hp.contains((0.4, 0.9))
+        assert hp.contains((0.5, 0.0))  # boundary
+        assert not hp.contains((0.6, 0.0))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            HalfPlane(0.0, 0.0, 1.0)
+
+    def test_distance_to_boundary(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)
+        assert hp.distance_to_boundary((0.2, 0.0)) == pytest.approx(0.3)
+        assert hp.distance_to_boundary((0.9, 0.0)) == pytest.approx(0.4)
+
+    def test_distance_scale_invariant(self):
+        a = HalfPlane(1.0, 0.0, 0.5)
+        b = HalfPlane(10.0, 0.0, 5.0)
+        assert a.distance_to_boundary((0.1, 0.3)) == pytest.approx(
+            b.distance_to_boundary((0.1, 0.3))
+        )
+
+
+class TestBisector:
+    def test_site_side(self):
+        hp = bisector_halfplane((0.0, 0.0), (1.0, 0.0))
+        assert hp.contains((0.0, 0.0))
+        assert not hp.contains((1.0, 0.0))
+        assert hp.contains((0.5, 0.7))  # on the boundary
+
+    def test_coincident_rejected(self):
+        with pytest.raises(GeometryError):
+            bisector_halfplane((0.5, 0.5), (0.5, 0.5))
+
+    @given(pts, pts, pts)
+    def test_membership_equals_distance_order(self, site, other, probe):
+        assume(dist(site, other) > 1e-6)
+        hp = bisector_halfplane(site, other)
+        closer_to_site = dist(probe, site) <= dist(probe, other) + 1e-9
+        if hp.contains(probe):
+            assert closer_to_site
+        else:
+            assert dist(probe, other) < dist(probe, site) + 1e-9
+
+    @given(pts, pts)
+    def test_site_always_contained(self, site, other):
+        assume(dist(site, other) > 1e-6)
+        assert bisector_halfplane(site, other).contains(site)

@@ -1,0 +1,73 @@
+"""Tests for point primitives and distances."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import as_point, dist, dist2, midpoint
+
+coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+points_2d = st.tuples(coords, coords)
+
+
+class TestAsPoint:
+    def test_converts_sequence(self):
+        assert as_point([1, 2.5]) == (1.0, 2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            as_point([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_point([0.0, float("nan")])
+
+    def test_rejects_infinity(self):
+        with pytest.raises(GeometryError):
+            as_point([float("inf")])
+
+
+class TestDist:
+    def test_pythagorean_triple(self):
+        assert dist((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert dist((1.5, 2.5), (1.5, 2.5)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            dist((0, 0), (0, 0, 0))
+
+    def test_dist2_is_squared_dist(self):
+        assert dist2((0, 0), (3, 4)) == pytest.approx(25.0)
+
+    @given(points_2d, points_2d)
+    def test_symmetry(self, a, b):
+        assert dist(a, b) == pytest.approx(dist(b, a))
+
+    @given(points_2d, points_2d, points_2d)
+    def test_triangle_inequality(self, a, b, c):
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-9
+
+    @given(points_2d, points_2d)
+    def test_dist2_consistent(self, a, b):
+        assert math.sqrt(dist2(a, b)) == pytest.approx(dist(a, b))
+
+
+class TestMidpoint:
+    def test_halfway(self):
+        assert midpoint((0, 0), (2, 4)) == (1.0, 2.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            midpoint((0,), (0, 1))
+
+    @given(points_2d, points_2d)
+    def test_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert dist(a, m) == pytest.approx(dist(b, m), abs=1e-9)

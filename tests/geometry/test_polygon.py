@@ -1,0 +1,129 @@
+"""Tests for convex polygons and half-plane clipping."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.halfplane import HalfPlane, bisector_halfplane
+from repro.geometry.point import dist
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+
+UNIT = ConvexPolygon.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+pts = st.tuples(unit, unit)
+
+
+class TestBasics:
+    def test_from_rect(self):
+        assert len(UNIT.vertices) == 4
+        assert UNIT.area() == pytest.approx(1.0)
+        assert not UNIT.is_empty
+
+    def test_from_rect_requires_2d(self):
+        with pytest.raises(GeometryError):
+            ConvexPolygon.from_rect(Rect((0.0,), (1.0,)))
+
+    def test_empty(self):
+        empty = ConvexPolygon()
+        assert empty.is_empty
+        assert empty.area() == 0.0
+        assert not empty.contains((0.5, 0.5))
+        assert empty.max_distance_from((0.0, 0.0)) == 0.0
+
+    def test_contains(self):
+        assert UNIT.contains((0.5, 0.5))
+        assert UNIT.contains((0.0, 0.0))  # vertex
+        assert UNIT.contains((0.5, 0.0))  # edge
+        assert not UNIT.contains((1.5, 0.5))
+
+    def test_bounding_rect(self):
+        tri = ConvexPolygon(((0.0, 0.0), (1.0, 0.0), (0.0, 1.0)))
+        assert tri.bounding_rect() == Rect((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(GeometryError):
+            ConvexPolygon().bounding_rect()
+
+    def test_max_distance_from(self):
+        assert UNIT.max_distance_from((0.0, 0.0)) == pytest.approx(2**0.5)
+        assert UNIT.max_distance_from((0.5, 0.5)) == pytest.approx(0.5 * 2**0.5)
+
+
+class TestClip:
+    def test_half_cut(self):
+        clipped = UNIT.clip(HalfPlane(1.0, 0.0, 0.5))  # x <= 0.5
+        assert clipped.area() == pytest.approx(0.5)
+        assert clipped.contains((0.25, 0.5))
+        assert not clipped.contains((0.75, 0.5))
+
+    def test_no_cut(self):
+        clipped = UNIT.clip(HalfPlane(1.0, 0.0, 2.0))  # x <= 2
+        assert clipped.area() == pytest.approx(1.0)
+
+    def test_full_cut_empty(self):
+        clipped = UNIT.clip(HalfPlane(1.0, 0.0, -1.0))  # x <= -1
+        assert clipped.is_empty
+
+    def test_corner_cut_makes_pentagon(self):
+        clipped = UNIT.clip(HalfPlane(-1.0, -1.0, -0.5))  # x + y >= 0.5
+        assert len(clipped.vertices) == 5
+        assert clipped.area() == pytest.approx(1.0 - 0.125)
+
+    def test_clip_empty_stays_empty(self):
+        assert ConvexPolygon().clip(HalfPlane(1.0, 0.0, 0.5)).is_empty
+
+    @given(pts, pts)
+    @settings(max_examples=50)
+    def test_clip_area_never_grows(self, site, other):
+        assume(dist(site, other) > 1e-6)
+        clipped = UNIT.clip(bisector_halfplane(site, other))
+        assert clipped.area() <= UNIT.area() + 1e-9
+
+    @given(pts, pts, pts)
+    @settings(max_examples=50)
+    def test_clip_membership(self, site, other, probe):
+        assume(dist(site, other) > 1e-6)
+        hp = bisector_halfplane(site, other)
+        clipped = UNIT.clip(hp)
+        if clipped.contains(probe):
+            assert hp.value(probe) <= 1e-6
+
+
+class TestIntersection:
+    def test_overlapping_squares(self):
+        a = ConvexPolygon.from_rect(Rect((0.0, 0.0), (0.6, 0.6)))
+        b = ConvexPolygon.from_rect(Rect((0.4, 0.4), (1.0, 1.0)))
+        inter = a.intersection(b)
+        assert inter.area() == pytest.approx(0.04)
+
+    def test_disjoint_is_empty(self):
+        a = ConvexPolygon.from_rect(Rect((0.0, 0.0), (0.3, 0.3)))
+        b = ConvexPolygon.from_rect(Rect((0.7, 0.7), (1.0, 1.0)))
+        assert a.intersection(b).is_empty
+
+    def test_contained(self):
+        inner = ConvexPolygon.from_rect(Rect((0.3, 0.3), (0.6, 0.6)))
+        inter = UNIT.intersection(inner)
+        assert inter.area() == pytest.approx(inner.area())
+
+    def test_with_empty(self):
+        assert UNIT.intersection(ConvexPolygon()).is_empty
+        assert ConvexPolygon().intersection(UNIT).is_empty
+
+    @given(pts, pts, pts)
+    @settings(max_examples=50)
+    def test_intersection_membership(self, p0, p1, probe):
+        assume(dist(p0, p1) > 1e-3)
+        a = UNIT.clip(bisector_halfplane(p0, p1))
+        b = UNIT.clip(bisector_halfplane(p1, p0))
+        inter = a.intersection(b)
+        if inter.contains(probe):
+            # Points of the intersection are (within eps) in both parts.
+            assert a.contains(probe) or b.contains(probe)
+
+    def test_commutative_area(self):
+        a = ConvexPolygon(((0.0, 0.0), (0.8, 0.1), (0.5, 0.9)))
+        b = ConvexPolygon(((0.2, 0.0), (1.0, 0.4), (0.1, 0.8)))
+        assert a.intersection(b).area() == pytest.approx(
+            b.intersection(a).area(), abs=1e-9
+        )

@@ -1,0 +1,141 @@
+"""Tests for axis-aligned rectangles (MBRs)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import dist
+from repro.geometry.rect import Rect
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x0, x1 = sorted((draw(unit), draw(unit)))
+    y0, y1 = sorted((draw(unit), draw(unit)))
+    return Rect((x0, y0), (x1, y1))
+
+
+@st.composite
+def unit_points(draw):
+    return (draw(unit), draw(unit))
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect((0.0, 0.0), (1.0, 2.0))
+        assert r.dim == 2
+        assert r.area() == pytest.approx(2.0)
+        assert r.margin() == pytest.approx(3.0)
+        assert r.center == (0.5, 1.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point((0.3, 0.7))
+        assert r.area() == 0.0
+        assert r.contains_point((0.3, 0.7))
+
+    def test_bounding_points(self):
+        r = Rect.bounding([(0, 0), (2, 1), (1, 3)])
+        assert r == Rect((0.0, 0.0), (2.0, 3.0))
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.union_of([])
+
+    def test_4d_rect(self):
+        r = Rect((0.0, 0.0, 0.0, 0.0), (1.0, 1.0, 1.0, 1.0))
+        assert r.dim == 4
+        assert r.area() == 1.0
+
+
+class TestRelations:
+    def test_contains_rect(self):
+        outer = Rect((0.0, 0.0), (1.0, 1.0))
+        inner = Rect((0.2, 0.2), (0.8, 0.8))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_intersects_boundary_touch(self):
+        a = Rect((0.0, 0.0), (0.5, 0.5))
+        b = Rect((0.5, 0.5), (1.0, 1.0))
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect((0.0, 0.0), (0.4, 0.4))
+        b = Rect((0.6, 0.6), (1.0, 1.0))
+        assert not a.intersects(b)
+        assert a.intersection_area(b) == 0.0
+
+    def test_intersection_area(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((0.5, 0.5), (1.5, 1.5))
+        assert a.intersection_area(b) == pytest.approx(0.25)
+
+    def test_enlargement(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        assert a.enlargement(b) == pytest.approx(1.0)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), unit_points())
+    def test_union_point_contains(self, r, p):
+        assert r.union_point(p).contains_point(p)
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.mindist((0.5, 0.5)) == 0.0
+
+    def test_mindist_outside(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.mindist((2.0, 1.0)) == pytest.approx(1.0)
+        assert r.mindist((2.0, 2.0)) == pytest.approx(2**0.5)
+
+    def test_maxdist_corner(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.maxdist((0.0, 0.0)) == pytest.approx(2**0.5)
+
+    def test_mindist_rect_disjoint(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 0.0), (3.0, 1.0))
+        assert a.mindist_rect(b) == pytest.approx(1.0)
+
+    def test_mindist_rect_overlapping_is_zero(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((0.5, 0.5), (2.0, 2.0))
+        assert a.mindist_rect(b) == 0.0
+
+    @given(rects(), unit_points())
+    def test_mindist_le_maxdist(self, r, p):
+        assert r.mindist(p) <= r.maxdist(p) + 1e-12
+
+    @given(rects(), unit_points(), unit_points())
+    def test_mindist_is_lower_bound(self, r, p, q):
+        """MINDIST(p, r) lower-bounds the distance to any point in r."""
+        if r.contains_point(q):
+            assert r.mindist(p) <= dist(p, q) + 1e-9
+
+    @given(rects(), rects(), unit_points())
+    def test_mindist_monotone_under_containment(self, a, b, p):
+        u = a.union(b)
+        assert u.mindist(p) <= a.mindist(p) + 1e-12

@@ -1,0 +1,112 @@
+"""Tests for the generic n-dimensional Hilbert curve."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.hilbert.curve import HilbertCurve, hilbert_key_2d, hilbert_key_4d
+
+
+class TestSmallCurves:
+    @pytest.mark.parametrize(
+        "dims,bits", [(1, 4), (2, 1), (2, 4), (3, 1), (3, 2), (4, 2)]
+    )
+    def test_bijective(self, dims, bits):
+        curve = HilbertCurve(dims, bits)
+        seen = set()
+        for h in range(curve.max_h):
+            point = curve.decode(h)
+            assert point not in seen
+            seen.add(point)
+            assert curve.encode(point) == h
+
+    @pytest.mark.parametrize("dims,bits", [(2, 4), (3, 2), (4, 1), (3, 1)])
+    def test_adjacency(self, dims, bits):
+        """Consecutive Hilbert values differ by 1 in exactly one dim."""
+        curve = HilbertCurve(dims, bits)
+        prev = curve.decode(0)
+        for h in range(1, curve.max_h):
+            cur = curve.decode(h)
+            diff = sum(abs(a - b) for a, b in zip(prev, cur))
+            assert diff == 1, f"h={h}: {prev} -> {cur}"
+            prev = cur
+
+    def test_2d_order_4_known_start(self):
+        """The curve starts at the origin."""
+        curve = HilbertCurve(2, 4)
+        assert curve.decode(0) == (0, 0)
+
+    def test_1bit_3d_is_gray_path(self):
+        """The keyword mapping case: a Hamiltonian path on the 3-cube."""
+        curve = HilbertCurve(3, 1)
+        seq = [curve.decode(h) for h in range(8)]
+        assert len(set(seq)) == 8
+        for a, b in zip(seq, seq[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+
+class TestValidation:
+    def test_bad_dims(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(0, 4)
+
+    def test_bad_bits(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(2, 0)
+
+    def test_wrong_coordinate_count(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(2, 4).encode([1])
+
+    def test_coordinate_out_of_range(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(2, 2).encode([4, 0])
+
+    def test_h_out_of_range(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(2, 2).decode(16)
+
+
+class TestLargeCurves:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_4d_16bit(self, coords):
+        curve = HilbertCurve(4, 16)
+        assert list(curve.decode(curve.encode(coords))) == coords
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=64, max_size=64)
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_64d_1bit(self, coords):
+        """The keyword-hypercube case at realistic dimensionality."""
+        curve = HilbertCurve(64, 1)
+        assert list(curve.decode(curve.encode(coords))) == coords
+
+
+class TestUnitKeys:
+    def test_2d_key_locality(self):
+        """Nearby points mostly share key prefixes (coarse check)."""
+        a = hilbert_key_2d(0.1, 0.1)
+        b = hilbert_key_2d(0.1 + 1e-6, 0.1)
+        c = hilbert_key_2d(0.9, 0.9)
+        assert abs(a - b) < abs(a - c)
+
+    def test_clamping(self):
+        assert hilbert_key_2d(-0.5, 1.5) == hilbert_key_2d(0.0, 1.0 - 1e-12)
+
+    def test_4d_key_range(self):
+        key = hilbert_key_4d(0.5, 0.5, 0.5, 0.5, bits=8)
+        assert 0 <= key < 1 << 32
+
+    def test_4d_distinct_dimensions_matter(self):
+        base = hilbert_key_4d(0.5, 0.5, 0.5, 0.5)
+        assert hilbert_key_4d(0.5, 0.5, 0.9, 0.5) != base
+        assert hilbert_key_4d(0.5, 0.5, 0.5, 0.9) != base

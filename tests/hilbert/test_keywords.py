@@ -1,0 +1,94 @@
+"""Tests for the keyword-mask <-> Hilbert value mapping (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.hilbert.keywords import KeywordHilbert, gray_rank
+
+masks_8 = st.integers(min_value=0, max_value=255)
+masks_128 = st.integers(min_value=0, max_value=2**128 - 1)
+
+
+class TestRoundtrip:
+    def test_exhaustive_8(self):
+        kh = KeywordHilbert(8)
+        images = {kh.encode(m) for m in range(256)}
+        assert images == set(range(256))  # bijection onto the full range
+        for m in range(256):
+            assert kh.decode(kh.encode(m)) == m
+
+    @given(masks_128)
+    @settings(max_examples=200)
+    def test_roundtrip_128(self, mask):
+        kh = KeywordHilbert(128)
+        assert kh.decode(kh.encode(mask)) == mask
+
+    def test_zero_maps_to_zero(self):
+        assert KeywordHilbert(16).encode(0) == 0
+
+
+class TestGrayProperty:
+    def test_adjacent_values_differ_one_keyword(self):
+        """The paper's key property: distance-1 vectors share all but one
+        keyword."""
+        kh = KeywordHilbert(10)
+        for h in range(kh.max_value - 1):
+            flips = (kh.decode(h) ^ kh.decode(h + 1)).bit_count()
+            assert flips == 1
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 2),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200)
+    def test_distance_bounds_keyword_difference(self, h, d):
+        """Values w' apart differ in at most w' keywords (Section 4.2)."""
+        kh = KeywordHilbert(12)
+        h2 = min(h + d, kh.max_value - 1)
+        flips = (kh.decode(h) ^ kh.decode(h2)).bit_count()
+        assert flips <= h2 - h or h2 == h
+
+
+class TestAggregate:
+    def test_aggregate_is_union(self):
+        kh = KeywordHilbert(8)
+        a, b = 0b1010, 0b0110
+        assert kh.decode(kh.aggregate(kh.encode(a), kh.encode(b))) == (a | b)
+
+    @given(masks_8, masks_8)
+    def test_aggregate_always_union(self, a, b):
+        kh = KeywordHilbert(8)
+        agg = kh.aggregate(kh.encode(a), kh.encode(b))
+        assert kh.decode(agg) == (a | b)
+
+    @given(masks_8, masks_8, masks_8)
+    def test_aggregate_associative(self, a, b, c):
+        kh = KeywordHilbert(8)
+        ea, eb, ec = kh.encode(a), kh.encode(b), kh.encode(c)
+        left = kh.aggregate(kh.aggregate(ea, eb), ec)
+        right = kh.aggregate(ea, kh.aggregate(eb, ec))
+        assert left == right
+
+
+class TestMisc:
+    def test_to_unit_range(self):
+        kh = KeywordHilbert(16)
+        for mask in (0, 1, 2**16 - 1):
+            u = kh.to_unit(kh.encode(mask))
+            assert 0.0 <= u < 1.0
+
+    def test_gray_rank_helper(self):
+        assert gray_rank(0b101, 3) == KeywordHilbert(3).encode(0b101)
+
+    def test_out_of_range_rejected(self):
+        kh = KeywordHilbert(4)
+        with pytest.raises(GeometryError):
+            kh.encode(16)
+        with pytest.raises(GeometryError):
+            kh.decode(-1)
+
+    def test_bad_vocab_size(self):
+        with pytest.raises(GeometryError):
+            KeywordHilbert(0)

@@ -1,0 +1,205 @@
+"""Tests shared by the SRT-index and the IR²-tree, plus their contrasts."""
+
+import random
+
+import pytest
+
+from repro.index.ir2 import IR2Tree
+from repro.index.nodes import FeatureLeafEntry
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.text.similarity import jaccard
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_feature_objects, random_mask
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+    return FeatureDataset(make_feature_objects(400, seed=77), vocab, "test")
+
+
+@pytest.fixture(scope="module", params=[SRTIndex, IR2Tree])
+def tree(request, dataset):
+    return request.param.build(dataset)
+
+
+class TestConstruction:
+    def test_all_features_stored(self, tree, dataset):
+        assert tree.count == len(dataset)
+        assert sorted(e.fid for e in tree.iter_features()) == [
+            f.fid for f in sorted(dataset, key=lambda f: f.fid)
+        ]
+
+    def test_structural_invariants(self, tree):
+        tree.validate()
+
+    def test_leaf_entries_carry_exact_data(self, tree, dataset):
+        for entry in tree.iter_features():
+            f = dataset.get(entry.fid)
+            assert entry.x == f.x and entry.y == f.y
+            assert entry.score == pytest.approx(f.score)
+            assert entry.mask == f.keyword_mask()
+
+    def test_insert_mode(self, dataset):
+        for cls in (SRTIndex, IR2Tree):
+            tree = cls.build(dataset, method="insert")
+            tree.validate()
+            assert tree.count == len(dataset)
+
+    def test_unknown_method(self, dataset):
+        with pytest.raises(ValueError):
+            SRTIndex.build(dataset, method="bogus")
+
+    def test_empty_dataset(self):
+        empty = FeatureDataset([], Vocabulary(["a"]), "empty")
+        tree = SRTIndex.build(empty)
+        assert tree.count == 0
+        assert list(tree.iter_features()) == []
+
+
+class TestAggregates:
+    def test_max_score_aggregate(self, tree):
+        """Internal entries carry the max score of their subtree."""
+        stack = [(tree.root_id, None)]
+        while stack:
+            page_id, expected_max = stack.pop()
+            node = tree.read_node(page_id)
+            if node.is_leaf:
+                actual = max(e.score for e in node.entries)
+            else:
+                actual = max(e.max_score for e in node.entries)
+                for e in node.entries:
+                    stack.append((e.child, e.max_score))
+            if expected_max is not None:
+                assert actual == pytest.approx(expected_max)
+
+
+class TestBoundProperty:
+    """The correctness keystone: ŝ(e) >= s(t) for every descendant t."""
+
+    @pytest.mark.parametrize("lam", [0.0, 0.3, 0.5, 1.0])
+    def test_node_bound_dominates_descendants(self, tree, lam):
+        rng = random.Random(4)
+        for _ in range(5):
+            scorer = tree.make_scorer(random_mask(rng), lam)
+            stack = [(tree.root_id, float("inf"))]
+            while stack:
+                page_id, parent_bound = stack.pop()
+                node = tree.read_node(page_id)
+                for e in node.entries:
+                    if node.is_leaf:
+                        assert scorer.leaf_score(e) <= parent_bound + 1e-12
+                    else:
+                        stack.append((e.child, scorer.node_bound(e)))
+                        assert scorer.node_bound(e) <= parent_bound + 1e-9 or isinstance(
+                            tree, IR2Tree
+                        )
+
+    def test_relevance_never_false_negative(self, tree, dataset):
+        """If a relevant feature exists below a node, the node must be
+        flagged relevant (the sim > 0 pruning must be safe)."""
+        rng = random.Random(9)
+        for _ in range(5):
+            mask = random_mask(rng)
+            scorer = tree.make_scorer(mask, 0.5)
+            stack = [tree.root_id]
+            while stack:
+                node = tree.read_node(stack.pop())
+                for e in node.entries:
+                    if node.is_leaf:
+                        continue
+                    child = tree.read_node(e.child)
+                    child_has_relevant = any(
+                        (le.mask & mask) != 0
+                        for le in _leaves_under(tree, child)
+                    )
+                    if child_has_relevant:
+                        assert scorer.node_relevant(e)
+                    stack.append(e.child)
+
+    def test_leaf_score_is_definition_1(self, tree, dataset):
+        rng = random.Random(11)
+        mask = random_mask(rng)
+        lam = 0.7
+        scorer = tree.make_scorer(mask, lam)
+        for entry in tree.iter_features():
+            expected = (1 - lam) * entry.score + lam * jaccard(entry.mask, mask)
+            assert scorer.leaf_score(entry) == pytest.approx(expected)
+
+
+class TestIndexContrast:
+    def test_srt_summary_is_exact_union(self, dataset):
+        tree = SRTIndex.build(dataset)
+        root = tree.read_node(tree.root_id)
+        if root.is_leaf:
+            pytest.skip("tree too small")
+        for e in root.entries:
+            union = 0
+            child = tree.read_node(e.child)
+            for leaf in _leaves_under(tree, child):
+                union |= leaf.mask
+            assert e.summary == union
+
+    def test_srt_hilbert_value_roundtrips_summary(self, dataset):
+        tree = SRTIndex.build(dataset)
+        root = tree.read_node(tree.root_id)
+        if root.is_leaf:
+            pytest.skip("tree too small")
+        from repro.hilbert.keywords import KeywordHilbert
+
+        kh = KeywordHilbert(tree.vocab_size)
+        for e in root.entries:
+            assert kh.decode(tree.node_hilbert_value(e)) == e.summary
+
+    def test_srt_bounds_tighter_on_average(self, dataset):
+        """The design claim of Section 4: clustering by (space, score,
+        text) yields tighter ŝ(e) than spatial-only clustering.
+
+        Small pages keep per-leaf keyword unions selective; with large
+        leaves both summaries saturate and the contrast vanishes.
+        """
+        from repro.storage.pagefile import MemoryPageFile
+
+        srt = SRTIndex.build(dataset, pagefile=MemoryPageFile(512))
+        ir2 = IR2Tree.build(dataset, pagefile=MemoryPageFile(512))
+        rng = random.Random(13)
+        srt_total = ir2_total = 0.0
+        for _ in range(10):
+            mask = random_mask(rng)
+            srt_total += _mean_leaf_parent_bound(srt, mask)
+            ir2_total += _mean_leaf_parent_bound(ir2, mask)
+        assert srt_total < ir2_total
+
+    def test_metadata_kinds(self, dataset):
+        assert SRTIndex.build(dataset).metadata()["kind"] == "srt"
+        meta = IR2Tree.build(dataset).metadata()
+        assert meta["kind"] == "ir2"
+        assert meta["signature_bits"] >= 32
+
+
+def _leaves_under(tree, node):
+    if node.is_leaf:
+        yield from node.entries
+        return
+    for e in node.entries:
+        yield from _leaves_under(tree, tree.read_node(e.child))
+
+
+def _mean_leaf_parent_bound(tree, mask) -> float:
+    """Average ŝ(e) over entries pointing at leaves (bound looseness)."""
+    scorer = tree.make_scorer(mask, 0.5)
+    total, count = 0.0, 0
+    stack = [tree.root_id]
+    while stack:
+        node = tree.read_node(stack.pop())
+        if node.is_leaf:
+            continue
+        for e in node.entries:
+            child = tree.read_node(e.child)
+            if child.is_leaf:
+                total += scorer.node_bound(e)
+                count += 1
+            else:
+                stack.append(e.child)
+    return total / max(count, 1)

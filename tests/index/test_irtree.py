@@ -1,0 +1,89 @@
+"""Tests for the IR-tree extension baseline."""
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.index.ir2 import IR2Tree
+from repro.index.irtree import IRTree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_feature_objects, random_mask
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+    return FeatureDataset(make_feature_objects(300, seed=99), vocab, "irt")
+
+
+class TestStructure:
+    def test_build_and_validate(self, dataset):
+        tree = IRTree.build(dataset)
+        tree.validate()
+        assert tree.count == len(dataset)
+        assert tree.metadata()["kind"] == "irtree"
+
+    def test_summaries_are_exact_unions(self, dataset):
+        tree = IRTree.build(dataset)
+        root = tree.read_node(tree.root_id)
+        if root.is_leaf:
+            pytest.skip("tree too small")
+        for e in root.entries:
+            union = 0
+            stack = [tree.read_node(e.child)]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    for le in node.entries:
+                        union |= le.mask
+                else:
+                    stack.extend(
+                        tree.read_node(c.child) for c in node.entries
+                    )
+            assert e.summary == union
+
+    def test_spatial_build_order_matches_ir2(self, dataset):
+        """IR-tree and IR²-tree cluster identically (spatial Hilbert)."""
+        irt = IRTree.build(dataset)
+        ir2 = IR2Tree.build(dataset)
+        irt_leaves = [e.fid for e in irt.iter_features()]
+        ir2_leaves = [e.fid for e in ir2.iter_features()]
+        assert irt_leaves == ir2_leaves
+
+    def test_bounds_at_least_as_tight_as_ir2(self, dataset):
+        """Same clustering, exact summaries: IR-tree bounds <= IR² bounds."""
+        from repro.storage.pagefile import MemoryPageFile
+
+        irt = IRTree.build(dataset, pagefile=MemoryPageFile(512))
+        ir2 = IR2Tree.build(dataset, pagefile=MemoryPageFile(512))
+        rng = random.Random(5)
+        for _ in range(5):
+            mask = random_mask(rng)
+            s_irt = irt.make_scorer(mask, 0.5)
+            s_ir2 = ir2.make_scorer(mask, 0.5)
+            root_irt = irt.read_node(irt.root_id)
+            root_ir2 = ir2.read_node(ir2.root_id)
+            for a, b in zip(root_irt.entries, root_ir2.entries):
+                assert s_irt.node_bound(a) <= s_ir2.node_bound(b) + 1e-9
+
+
+class TestQueries:
+    def test_end_to_end_correct(self, objects, feature_sets):
+        processor = QueryProcessor.build(objects, feature_sets, index="irtree")
+        rng = random.Random(7)
+        for variant in (Variant.RANGE, Variant.INFLUENCE, Variant.NEAREST):
+            query = PreferenceQuery(
+                k=5,
+                radius=0.08,
+                lam=0.5,
+                keyword_masks=(random_mask(rng), random_mask(rng)),
+                variant=variant,
+            )
+            got = processor.query(query).scores
+            want = brute_force(objects, feature_sets, query).scores
+            assert got == pytest.approx(want, abs=1e-9)

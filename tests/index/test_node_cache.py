@@ -1,0 +1,84 @@
+"""Tests for the decoded-node cache layered on the page buffer."""
+
+import pytest
+
+from repro.index.nodes import ObjectLeafEntry
+from repro.index.object_rtree import ObjectRTree
+from repro.storage.pagefile import MemoryPageFile
+from tests.conftest import make_data_objects
+
+
+class TestNodeCacheCoherence:
+    def test_read_after_insert_sees_update(self):
+        tree = ObjectRTree.build(make_data_objects(100, seed=51))
+        tree.insert(ObjectLeafEntry(999, 0.5, 0.5))
+        # Cached nodes must reflect the mutation immediately.
+        got = [e.oid for e in tree.range_search((0.5, 0.5), 1e-9)]
+        assert 999 in got
+
+    def test_read_after_delete_sees_update(self):
+        objects = make_data_objects(100, seed=52)
+        tree = ObjectRTree.build(objects)
+        victim = objects[0]
+        tree.delete(ObjectLeafEntry(victim.oid, victim.x, victim.y))
+        got = [e.oid for e in tree.range_search((victim.x, victim.y), 1e-12)]
+        assert victim.oid not in got
+
+    def test_cache_hit_counts_as_buffer_hit(self):
+        tree = ObjectRTree.build(make_data_objects(100, seed=53))
+        tree.clear_cache()
+        tree.stats.reset()
+        root_id = tree.root_id
+        tree.read_node(root_id)
+        assert tree.stats.reads >= 1
+        before_hits = tree.stats.buffer_hits
+        tree.read_node(root_id)
+        assert tree.stats.buffer_hits == before_hits + 1
+        assert tree.stats.reads >= 1  # no extra physical read
+
+    def test_clear_cache_forces_decode_and_read(self):
+        tree = ObjectRTree.build(make_data_objects(100, seed=54))
+        tree.read_node(tree.root_id)
+        tree.clear_cache()
+        tree.stats.reset()
+        tree.read_node(tree.root_id)
+        assert tree.stats.reads == 1
+
+    def test_capacity_bounded(self):
+        tree = ObjectRTree(MemoryPageFile(page_size=256), buffer_pages=4)
+        for o in make_data_objects(300, seed=55):
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        assert len(tree._node_cache) <= 4
+
+    def test_queries_identical_with_and_without_cache(self):
+        objects = make_data_objects(400, seed=56)
+        warm = ObjectRTree.build(objects)
+        warm_result = sorted(
+            e.oid for e in warm.range_search((0.4, 0.6), 0.2)
+        )
+        cold = ObjectRTree.build(objects)
+        cold.clear_cache()
+        cold_result = sorted(
+            e.oid for e in cold.range_search((0.4, 0.6), 0.2)
+        )
+        assert warm_result == cold_result
+
+
+class TestAccountingInvariant:
+    def test_logical_reads_consistent(self, srt_processor):
+        from repro.core.query import PreferenceQuery
+
+        srt_processor.clear_buffers()
+        srt_processor.reset_stats()
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b11, 0b11)
+        )
+        result = srt_processor.query(query)
+        stats_sum = srt_processor.object_tree.stats.logical_reads + sum(
+            t.stats.logical_reads for t in srt_processor.feature_trees
+        )
+        assert result.stats.io_reads + result.stats.buffer_hits == stats_sum
+        assert result.stats.io_time_s == pytest.approx(
+            result.stats.io_reads
+            * srt_processor.object_tree.stats.page_read_cost_s
+        )

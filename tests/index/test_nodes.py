@@ -1,0 +1,114 @@
+"""Tests for node formats and binary codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_, StorageError
+from repro.geometry.rect import Rect
+from repro.index.nodes import (
+    FeatureInternalEntry,
+    FeatureLeafEntry,
+    FeatureNodeCodec,
+    Node,
+    ObjectInternalEntry,
+    ObjectLeafEntry,
+    ObjectNodeCodec,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestObjectCodec:
+    def test_leaf_roundtrip(self):
+        codec = ObjectNodeCodec()
+        node = Node(7, 0, [ObjectLeafEntry(1, 0.2, 0.3), ObjectLeafEntry(2, 0.4, 0.5)])
+        decoded = codec.decode(7, codec.encode(node))
+        assert decoded.is_leaf
+        assert decoded.entries == node.entries
+
+    def test_internal_roundtrip(self):
+        codec = ObjectNodeCodec()
+        node = Node(
+            3,
+            2,
+            [ObjectInternalEntry(11, Rect((0.0, 0.0), (0.5, 0.5)))],
+        )
+        decoded = codec.decode(3, codec.encode(node))
+        assert decoded.level == 2
+        assert decoded.entries == node.entries
+
+    def test_fanout_from_page_size(self):
+        codec = ObjectNodeCodec()
+        assert codec.leaf_fanout(4088) == (4088 - 3) // 24
+        assert codec.internal_fanout(4088) == (4088 - 3) // 40
+
+    def test_fanout_too_small(self):
+        with pytest.raises(IndexError_):
+            ObjectNodeCodec().leaf_fanout(40)
+
+    def test_truncated_payload(self):
+        with pytest.raises(StorageError):
+            ObjectNodeCodec().decode(0, b"\x00")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=10**6), unit, unit),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_leaf_roundtrip_property(self, raw_entries):
+        codec = ObjectNodeCodec()
+        entries = [ObjectLeafEntry(i, x, y) for i, x, y in raw_entries]
+        node = Node(0, 0, entries)
+        assert codec.decode(0, codec.encode(node)).entries == entries
+
+
+class TestFeatureCodec:
+    def test_leaf_roundtrip_with_mask(self):
+        codec = FeatureNodeCodec(mask_bytes=16, summary_bytes=16)
+        entries = [
+            FeatureLeafEntry(1, 0.1, 0.2, 0.9, (1 << 100) | 0b11),
+            FeatureLeafEntry(2, 0.3, 0.4, 0.1, 0),
+        ]
+        node = Node(5, 0, entries)
+        assert codec.decode(5, codec.encode(node)).entries == entries
+
+    def test_internal_roundtrip_with_aggregates(self):
+        codec = FeatureNodeCodec(mask_bytes=8, summary_bytes=8)
+        entries = [
+            FeatureInternalEntry(
+                9, Rect((0.0, 0.0), (1.0, 1.0)), 0.875, 0xDEADBEEF
+            )
+        ]
+        node = Node(2, 1, entries)
+        decoded = codec.decode(2, codec.encode(node))
+        assert decoded.entries == entries
+
+    def test_mask_overflow_detected(self):
+        codec = FeatureNodeCodec(mask_bytes=1, summary_bytes=1)
+        node = Node(0, 0, [FeatureLeafEntry(1, 0.0, 0.0, 0.5, 1 << 20)])
+        with pytest.raises(IndexError_):
+            codec.encode(node)
+
+    def test_vocabulary_width_shrinks_fanout(self):
+        """The effect behind Figure 7(d): bigger vocab -> smaller nodes."""
+        small = FeatureNodeCodec(mask_bytes=8, summary_bytes=8)
+        large = FeatureNodeCodec(mask_bytes=32, summary_bytes=32)
+        assert large.leaf_fanout(4088) < small.leaf_fanout(4088)
+        assert large.internal_fanout(4088) < small.internal_fanout(4088)
+
+    def test_invalid_widths(self):
+        with pytest.raises(IndexError_):
+            FeatureNodeCodec(mask_bytes=0, summary_bytes=8)
+
+
+class TestNodeMbr:
+    def test_mbr_of_leaf(self):
+        node = Node(0, 0, [ObjectLeafEntry(0, 0.1, 0.9), ObjectLeafEntry(1, 0.5, 0.2)])
+        assert node.mbr() == Rect((0.1, 0.2), (0.5, 0.9))
+
+    def test_empty_node_mbr_rejected(self):
+        with pytest.raises(IndexError_):
+            Node(0, 0, []).mbr()

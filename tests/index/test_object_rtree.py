@@ -1,0 +1,199 @@
+"""Tests for the data-object R-tree."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.index.object_rtree import ObjectRTree
+from repro.model.objects import DataObject
+from tests.conftest import make_data_objects
+
+
+@pytest.fixture(scope="module", params=["hilbert", "str", "insert"])
+def built_tree(request):
+    objects = make_data_objects(500, seed=21)
+    tree = ObjectRTree.build(objects, method=request.param)
+    return tree, objects
+
+
+class TestBuild:
+    def test_all_methods_store_everything(self, built_tree):
+        tree, objects = built_tree
+        assert tree.count == len(objects)
+        assert sorted(e.oid for e in tree.all_entries()) == list(range(500))
+
+    def test_structural_invariants(self, built_tree):
+        tree, _ = built_tree
+        tree.validate()
+
+    def test_empty_tree(self):
+        tree = ObjectRTree.build([])
+        assert tree.count == 0
+        assert list(tree.range_search((0.5, 0.5), 0.5)) == []
+
+    def test_single_object(self):
+        tree = ObjectRTree.build([DataObject(0, 0.5, 0.5)])
+        assert [e.oid for e in tree.range_search((0.5, 0.5), 0.01)] == [0]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            ObjectRTree.build([], method="bogus")
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self, built_tree):
+        tree, objects = built_tree
+        rng = random.Random(5)
+        for _ in range(20):
+            cx, cy, r = rng.random(), rng.random(), rng.random() * 0.2
+            got = sorted(e.oid for e in tree.range_search((cx, cy), r))
+            want = sorted(
+                o.oid
+                for o in objects
+                if math.hypot(o.x - cx, o.y - cy) <= r
+            )
+            assert got == want
+
+    def test_zero_radius(self, built_tree):
+        tree, objects = built_tree
+        target = objects[17]
+        got = [e.oid for e in tree.range_search(target.location, 0.0)]
+        assert target.oid in got
+
+
+class TestWithinAll:
+    def test_intersection_of_disks(self, built_tree):
+        tree, objects = built_tree
+        anchors = [(0.3, 0.3), (0.4, 0.3)]
+        r = 0.15
+        got = sorted(e.oid for e in tree.within_all(anchors, r))
+        want = sorted(
+            o.oid
+            for o in objects
+            if all(math.hypot(o.x - ax, o.y - ay) <= r for ax, ay in anchors)
+        )
+        assert got == want
+
+    def test_empty_anchor_list_returns_all(self, built_tree):
+        tree, objects = built_tree
+        got = sorted(e.oid for e in tree.within_all([], 0.1))
+        assert got == list(range(len(objects)))
+
+    def test_disjoint_anchors_return_nothing(self, built_tree):
+        tree, _ = built_tree
+        got = list(tree.within_all([(0.0, 0.0), (1.0, 1.0)], 0.05))
+        assert got == []
+
+
+class TestPolygonSearch:
+    def test_matches_brute_force(self, built_tree):
+        tree, objects = built_tree
+        poly = ConvexPolygon(((0.2, 0.2), (0.8, 0.25), (0.6, 0.8)))
+        got = sorted(e.oid for e in tree.in_polygon(poly))
+        want = sorted(
+            o.oid for o in objects if poly.contains((o.x, o.y))
+        )
+        assert got == want
+
+    def test_empty_polygon(self, built_tree):
+        tree, _ = built_tree
+        assert list(tree.in_polygon(ConvexPolygon())) == []
+
+    def test_full_space_polygon(self, built_tree):
+        tree, objects = built_tree
+        poly = ConvexPolygon.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert len(list(tree.in_polygon(poly))) == len(objects)
+
+
+class TestBestFirst:
+    def test_nearest_neighbors(self, built_tree):
+        tree, objects = built_tree
+        q = (0.5, 0.5)
+
+        def node_bound(rect):
+            return -rect.mindist(q)
+
+        def point_score(x, y):
+            return -math.hypot(x - q[0], y - q[1])
+
+        got = tree.best_first(node_bound, point_score, limit=5)
+        got_ids = [e.oid for _, e in got]
+        want_ids = [
+            o.oid
+            for o in sorted(
+                objects, key=lambda o: math.hypot(o.x - q[0], o.y - q[1])
+            )[:5]
+        ]
+        assert got_ids == want_ids
+
+    def test_scores_non_increasing(self, built_tree):
+        tree, _ = built_tree
+        q = (0.2, 0.8)
+        got = tree.best_first(
+            lambda rect: -rect.mindist(q),
+            lambda x, y: -math.hypot(x - q[0], y - q[1]),
+            limit=20,
+        )
+        scores = [s for s, _ in got]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_floor_cuts_results(self, built_tree):
+        tree, _ = built_tree
+        q = (0.5, 0.5)
+        got = tree.best_first(
+            lambda rect: -rect.mindist(q),
+            lambda x, y: -math.hypot(x - q[0], y - q[1]),
+            limit=100,
+            floor=-0.05,  # only objects within 0.05
+        )
+        assert all(s > -0.05 for s, _ in got)
+
+    def test_skip_filter(self, built_tree):
+        tree, _ = built_tree
+        q = (0.5, 0.5)
+        first = tree.best_first(
+            lambda rect: -rect.mindist(q),
+            lambda x, y: -math.hypot(x - q[0], y - q[1]),
+            limit=3,
+        )
+        skip_ids = {e.oid for _, e in first}
+        second = tree.best_first(
+            lambda rect: -rect.mindist(q),
+            lambda x, y: -math.hypot(x - q[0], y - q[1]),
+            limit=3,
+            skip=lambda oid: oid in skip_ids,
+        )
+        assert skip_ids.isdisjoint({e.oid for _, e in second})
+
+    def test_limit_zero(self, built_tree):
+        tree, _ = built_tree
+        assert tree.best_first(lambda r: 1.0, lambda x, y: 1.0, limit=0) == []
+
+
+class TestInsertMode:
+    def test_incremental_inserts_preserve_queries(self):
+        objects = make_data_objects(120, seed=33)
+        tree = ObjectRTree()
+        from repro.index.nodes import ObjectLeafEntry
+
+        for o in objects:
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+            tree.validate()
+        got = sorted(e.oid for e in tree.range_search((0.5, 0.5), 0.3))
+        want = sorted(
+            o.oid for o in objects if math.hypot(o.x - 0.5, o.y - 0.5) <= 0.3
+        )
+        assert got == want
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_insert_random_seeds(self, seed):
+        objects = make_data_objects(60, seed=seed)
+        tree = ObjectRTree.build(objects, method="insert")
+        tree.validate()
+        assert tree.count == 60

@@ -1,0 +1,114 @@
+"""Tests for generic R-tree machinery: splits, bulk loading, metadata."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.nodes import ObjectLeafEntry
+from repro.index.object_rtree import ObjectRTree
+from repro.index.rtree_base import RTreeBase
+from repro.storage.pagefile import MemoryPageFile
+from tests.conftest import make_data_objects
+
+
+class TestBulkLoad:
+    def test_double_build_rejected(self):
+        tree = ObjectRTree.build(make_data_objects(10, 1))
+        with pytest.raises(IndexError_):
+            tree.bulk_load([])
+
+    def test_bad_fill_factor(self):
+        tree = ObjectRTree()
+        with pytest.raises(IndexError_):
+            tree.bulk_load([], fill=0.05)
+        tree2 = ObjectRTree()
+        with pytest.raises(IndexError_):
+            tree2.bulk_load([], fill=1.5)
+
+    def test_height_grows_with_size(self):
+        small = ObjectRTree.build(make_data_objects(50, 1))
+        big = ObjectRTree.build(make_data_objects(40_000, 1))
+        assert big.height > small.height
+
+    def test_fill_factor_changes_page_count(self):
+        objects = make_data_objects(3000, 2)
+        full = ObjectRTree()
+        full.bulk_load(
+            [ObjectLeafEntry(o.oid, o.x, o.y) for o in objects], fill=1.0
+        )
+        half = ObjectRTree()
+        half.bulk_load(
+            [ObjectLeafEntry(o.oid, o.x, o.y) for o in objects], fill=0.5
+        )
+        assert half.pagefile.page_count > full.pagefile.page_count
+
+    def test_empty_bulk_load(self):
+        tree = ObjectRTree()
+        tree.bulk_load([])
+        assert tree.height == 1
+        assert tree.count == 0
+        tree.validate()
+
+
+class TestInsertSplits:
+    def test_root_split_grows_height(self):
+        tree = ObjectRTree(MemoryPageFile(page_size=256))  # tiny fan-out
+        objects = make_data_objects(200, 3)
+        for o in objects:
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        assert tree.height >= 3
+        tree.validate()
+        assert tree.count == 200
+
+    def test_min_fill_respected_after_splits(self):
+        tree = ObjectRTree(MemoryPageFile(page_size=256))
+        for o in make_data_objects(300, 4):
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        # Every non-root node must hold at least ~40% of fan-out - 1.
+        stack = [(tree.root_id, True)]
+        while stack:
+            page_id, is_root = stack.pop()
+            node = tree.read_node(page_id)
+            fanout = tree.leaf_fanout if node.is_leaf else tree.internal_fanout
+            if not is_root:
+                assert len(node.entries) >= max(1, int(0.4 * fanout)) - 1
+            if not node.is_leaf:
+                stack.extend((e.child, False) for e in node.entries)
+
+
+class TestMetadataPage:
+    def test_meta_written_and_readable(self):
+        tree = ObjectRTree.build(make_data_objects(100, 5))
+        meta = RTreeBase.read_meta(tree.pagefile)
+        assert meta["kind"] == "object"
+        assert meta["count"] == 100
+        assert meta["root"] == tree.root_id
+        assert meta["height"] == tree.height
+
+    def test_meta_tracks_inserts(self):
+        tree = ObjectRTree()
+        tree.insert(ObjectLeafEntry(0, 0.5, 0.5))
+        tree.insert(ObjectLeafEntry(1, 0.6, 0.6))
+        meta = RTreeBase.read_meta(tree.pagefile)
+        assert meta["count"] == 2
+
+
+class TestValidate:
+    def test_detects_stale_parent_entry(self):
+        tree = ObjectRTree.build(make_data_objects(500, 6))
+        root = tree.read_node(tree.root_id)
+        assert not root.is_leaf
+        # Corrupt a child's contents behind the parent's back.
+        child = tree.read_node(root.entries[0].child)
+        child.entries.append(ObjectLeafEntry(999_999, 0.0, 0.0))
+        tree.write_node(child)
+        with pytest.raises(IndexError_):
+            tree.validate()
+
+    def test_empty_tree_validates(self):
+        ObjectRTree().validate()
+
+
+class TestRootAccess:
+    def test_empty_tree_root_rejected(self):
+        with pytest.raises(IndexError_):
+            ObjectRTree().root_node()

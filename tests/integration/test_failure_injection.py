@@ -1,0 +1,103 @@
+"""Failure injection: corrupted pages, hostile inputs, exhausted stores."""
+
+import pytest
+
+from repro.core.query import PreferenceQuery
+from repro.errors import (
+    PageCorruptedError,
+    QueryError,
+    ReproError,
+)
+from repro.index.object_rtree import ObjectRTree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.storage.pagefile import MemoryPageFile
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_data_objects, make_feature_objects
+
+
+class TestCorruptedPages:
+    def test_corrupted_node_surfaces_cleanly(self):
+        pagefile = MemoryPageFile()
+        objects = ObjectDataset(make_data_objects(200, seed=71))
+        tree = ObjectRTree.build(objects, pagefile=pagefile)
+        # Corrupt a leaf page, then force a full traversal.
+        leaf_page = pagefile.page_count - 1
+        pagefile.corrupt(leaf_page)
+        tree.clear_cache()
+        with pytest.raises(PageCorruptedError):
+            list(tree.range_search((0.5, 0.5), 2.0))
+
+    def test_corruption_is_a_repro_error(self):
+        """Callers can catch the whole library with one base class."""
+        assert issubclass(PageCorruptedError, ReproError)
+
+    def test_cached_page_masks_corruption_until_eviction(self):
+        pagefile = MemoryPageFile()
+        objects = ObjectDataset(make_data_objects(100, seed=72))
+        tree = ObjectRTree.build(objects, pagefile=pagefile)
+        list(tree.range_search((0.5, 0.5), 2.0))  # warm the buffer
+        pagefile.corrupt(pagefile.page_count - 1)
+        # Buffer still holds the good copy.
+        list(tree.range_search((0.5, 0.5), 2.0))
+        tree.clear_cache()
+        with pytest.raises(PageCorruptedError):
+            list(tree.range_search((0.5, 0.5), 2.0))
+
+
+class TestHostileQueries:
+    @pytest.fixture(scope="class")
+    def processor(self):
+        from repro.core.processor import QueryProcessor
+
+        vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+        objects = ObjectDataset(make_data_objects(100, seed=73))
+        feature_sets = [
+            FeatureDataset(make_feature_objects(60, seed=74), vocab, "F")
+        ]
+        return QueryProcessor.build(objects, feature_sets)
+
+    def test_mask_beyond_vocabulary(self, processor):
+        """Query terms outside the indexed vocabulary simply never match."""
+        query = PreferenceQuery(
+            k=3, radius=0.1, lam=0.5, keyword_masks=(1 << 200,)
+        )
+        result = processor.query(query)
+        assert result.scores == [0.0, 0.0, 0.0]
+
+    def test_set_count_mismatch_raises(self, processor):
+        query = PreferenceQuery(
+            k=3, radius=0.1, lam=0.5, keyword_masks=(1, 1, 1)
+        )
+        with pytest.raises(QueryError):
+            processor.query(query)
+
+    def test_malformed_queries_rejected_at_construction(self):
+        with pytest.raises(QueryError):
+            PreferenceQuery(k=0, radius=0.1, lam=0.5, keyword_masks=(1,))
+        with pytest.raises(QueryError):
+            PreferenceQuery(k=1, radius=-1.0, lam=0.5, keyword_masks=(1,))
+        with pytest.raises(QueryError):
+            PreferenceQuery(k=1, radius=0.1, lam=2.0, keyword_masks=(1,))
+
+
+class TestResourceEdges:
+    def test_page_too_small_for_entries(self):
+        from repro.errors import IndexError_
+
+        vocab = Vocabulary(f"kw{i}" for i in range(512))
+        dataset = FeatureDataset(
+            make_feature_objects(10, seed=75, vocab_size=512), vocab, "F"
+        )
+        # 512-term masks (64 bytes) cannot give fan-out >= 2 in 128 bytes.
+        with pytest.raises(IndexError_):
+            SRTIndex.build(dataset, pagefile=MemoryPageFile(page_size=128))
+
+    def test_huge_vocabulary_still_works_with_big_pages(self):
+        vocab = Vocabulary(f"kw{i}" for i in range(512))
+        dataset = FeatureDataset(
+            make_feature_objects(50, seed=76, vocab_size=512), vocab, "F"
+        )
+        tree = SRTIndex.build(dataset, pagefile=MemoryPageFile(page_size=16384))
+        tree.validate()
+        assert tree.count == 50

@@ -1,0 +1,69 @@
+"""Hypothesis-driven end-to-end property: STPS ≡ brute force on random
+miniature worlds, for every variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+W = 8
+VOCAB = Vocabulary(f"kw{i}" for i in range(W))
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+score = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+kw_set = st.frozensets(
+    st.integers(min_value=0, max_value=W - 1), min_size=1, max_size=3
+)
+
+
+@st.composite
+def worlds(draw):
+    n_obj = draw(st.integers(min_value=0, max_value=25))
+    n_feat = draw(st.integers(min_value=0, max_value=20))
+    objects = ObjectDataset(
+        [
+            DataObject(i, draw(unit), draw(unit))
+            for i in range(n_obj)
+        ]
+    )
+    features = FeatureDataset(
+        [
+            FeatureObject(i, draw(unit), draw(unit), draw(score), draw(kw_set))
+            for i in range(n_feat)
+        ],
+        VOCAB,
+        "F",
+    )
+    k = draw(st.integers(min_value=1, max_value=6))
+    radius = draw(st.floats(min_value=0.01, max_value=0.5))
+    lam = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    mask = draw(st.integers(min_value=1, max_value=(1 << W) - 1))
+    return objects, features, k, radius, lam, mask
+
+
+class TestEndToEndProperty:
+    @pytest.mark.parametrize(
+        "variant", [Variant.RANGE, Variant.INFLUENCE, Variant.NEAREST]
+    )
+    @given(worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_stps_equals_brute_force(self, variant, world):
+        objects, features, k, radius, lam, mask = world
+        query = PreferenceQuery(
+            k=k,
+            radius=radius,
+            lam=lam,
+            keyword_masks=(mask,),
+            variant=variant,
+        )
+        processor = QueryProcessor.build(objects, [features])
+        got = processor.query(query).scores
+        want = brute_force(objects, [features], query).scores
+        assert len(got) == len(want)
+        assert got == pytest.approx(want, abs=1e-9)

@@ -1,0 +1,65 @@
+"""Tests for dataset containers."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+
+class TestObjectDataset:
+    def test_iteration_and_len(self):
+        ds = ObjectDataset([DataObject(0, 0.1, 0.1), DataObject(1, 0.2, 0.2)])
+        assert len(ds) == 2
+        assert [o.oid for o in ds] == [0, 1]
+
+    def test_get(self):
+        ds = ObjectDataset([DataObject(5, 0.1, 0.1)])
+        assert ds.get(5).oid == 5
+        with pytest.raises(DatasetError):
+            ds.get(99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DatasetError):
+            ObjectDataset([DataObject(0, 0.1, 0.1), DataObject(0, 0.2, 0.2)])
+
+    def test_empty_allowed(self):
+        assert len(ObjectDataset([])) == 0
+
+
+class TestFeatureDataset:
+    def test_vocabulary_consistency_enforced(self):
+        vocab = Vocabulary(["a", "b"])
+        bad = FeatureObject(0, 0.1, 0.1, 0.5, frozenset({7}))
+        with pytest.raises(DatasetError):
+            FeatureDataset([bad], vocab)
+
+    def test_get(self):
+        vocab = Vocabulary(["a"])
+        ds = FeatureDataset(
+            [FeatureObject(3, 0.1, 0.1, 0.5, frozenset({0}))], vocab
+        )
+        assert ds.get(3).fid == 3
+        with pytest.raises(DatasetError):
+            ds.get(0)
+
+    def test_duplicate_ids_rejected(self):
+        vocab = Vocabulary(["a"])
+        objs = [
+            FeatureObject(1, 0.1, 0.1, 0.5, frozenset({0})),
+            FeatureObject(1, 0.2, 0.2, 0.5, frozenset({0})),
+        ]
+        with pytest.raises(DatasetError):
+            FeatureDataset(objs, vocab)
+
+    def test_resolve_keywords(self):
+        vocab = Vocabulary(["pizza", "sushi"])
+        ds = FeatureDataset(
+            [FeatureObject(0, 0.1, 0.1, 0.5, frozenset({0}))], vocab, "r"
+        )
+        assert ds.resolve_keywords(["pizza", "unknown"]) == frozenset({0})
+
+    def test_label(self):
+        ds = FeatureDataset([], Vocabulary(), "restaurants")
+        assert ds.label == "restaurants"

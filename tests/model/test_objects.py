@@ -1,0 +1,58 @@
+"""Tests for data and feature object records."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.model.objects import DataObject, FeatureObject
+
+
+class TestDataObject:
+    def test_basic(self):
+        o = DataObject(1, 0.2, 0.3, "Hotel")
+        assert o.location == (0.2, 0.3)
+        assert o.name == "Hotel"
+
+    def test_negative_id(self):
+        with pytest.raises(DatasetError):
+            DataObject(-1, 0.0, 0.0)
+
+    def test_nonfinite_location(self):
+        with pytest.raises(DatasetError):
+            DataObject(0, float("nan"), 0.0)
+
+    def test_frozen(self):
+        o = DataObject(0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            o.x = 1.0
+
+
+class TestFeatureObject:
+    def test_basic(self):
+        f = FeatureObject(2, 0.1, 0.9, 0.75, frozenset({0, 3}), "Cafe")
+        assert f.location == (0.1, 0.9)
+        assert f.score == 0.75
+
+    def test_keyword_mask(self):
+        f = FeatureObject(0, 0.0, 0.0, 0.5, frozenset({0, 2, 5}))
+        assert f.keyword_mask() == 0b100101
+
+    def test_empty_keywords_mask(self):
+        assert FeatureObject(0, 0.0, 0.0, 0.5).keyword_mask() == 0
+
+    def test_score_range_enforced(self):
+        with pytest.raises(DatasetError):
+            FeatureObject(0, 0.0, 0.0, 1.5)
+        with pytest.raises(DatasetError):
+            FeatureObject(0, 0.0, 0.0, -0.1)
+
+    def test_boundary_scores_allowed(self):
+        FeatureObject(0, 0.0, 0.0, 0.0)
+        FeatureObject(1, 0.0, 0.0, 1.0)
+
+    def test_negative_keyword_rejected(self):
+        with pytest.raises(DatasetError):
+            FeatureObject(0, 0.0, 0.0, 0.5, frozenset({-1}))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(DatasetError):
+            FeatureObject(-5, 0.0, 0.0, 0.5)

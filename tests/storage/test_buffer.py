@@ -1,0 +1,87 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
+from repro.storage.pagefile import MemoryPageFile
+
+
+def make_pool(capacity=2, pages=4, page_size=128):
+    pf = MemoryPageFile(page_size=page_size)
+    pool = BufferPool(pf, capacity)
+    for i in range(pages):
+        pid = pf.allocate()
+        pf.write(Page(pid, f"page-{i}".encode()))
+    pf.stats.reset()
+    return pf, pool
+
+
+class TestBufferPool:
+    def test_hit_avoids_physical_read(self):
+        pf, pool = make_pool()
+        pool.read(0)
+        pool.read(0)
+        assert pf.stats.reads == 1
+        assert pf.stats.buffer_hits == 1
+
+    def test_lru_eviction(self):
+        pf, pool = make_pool(capacity=2)
+        pool.read(0)
+        pool.read(1)
+        pool.read(2)  # evicts 0
+        assert 0 not in pool
+        assert 1 in pool and 2 in pool
+        pool.read(0)  # physical again
+        assert pf.stats.reads == 4
+
+    def test_read_refreshes_recency(self):
+        pf, pool = make_pool(capacity=2)
+        pool.read(0)
+        pool.read(1)
+        pool.read(0)  # 0 becomes most recent
+        pool.read(2)  # evicts 1, not 0
+        assert 0 in pool and 1 not in pool
+
+    def test_write_through_and_cache(self):
+        pf, pool = make_pool()
+        pool.write(Page(0, b"updated"))
+        assert pf.stats.writes == 1
+        assert pool.read(0).payload == b"updated"
+        assert pf.stats.reads == 0  # served from cache
+
+    def test_invalidate(self):
+        pf, pool = make_pool()
+        pool.read(0)
+        pool.invalidate(0)
+        pool.read(0)
+        assert pf.stats.reads == 2
+
+    def test_clear(self):
+        pf, pool = make_pool()
+        pool.read(0)
+        pool.read(1)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_capacity_validation(self):
+        pf = MemoryPageFile(page_size=128)
+        with pytest.raises(StorageError):
+            BufferPool(pf, 0)
+
+    def test_capacity_never_exceeded(self):
+        pf, pool = make_pool(capacity=3, pages=10)
+        for i in range(10):
+            pool.read(i)
+        assert len(pool) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=60))
+    @settings(max_examples=40)
+    def test_reads_always_correct_under_any_access_pattern(self, accesses):
+        pf, pool = make_pool(capacity=3, pages=8)
+        for pid in accesses:
+            assert pool.read(pid).payload == f"page-{pid}".encode()
+        assert pf.stats.reads + pf.stats.buffer_hits == len(accesses)

@@ -1,0 +1,60 @@
+"""Tests for fixed-size page encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageCorruptedError, PageOverflowError
+from repro.storage.page import HEADER_SIZE, Page
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        page = Page(3, b"hello world")
+        raw = page.encode(256)
+        assert len(raw) == 256
+        decoded = Page.decode(3, raw, 256)
+        assert decoded.payload == b"hello world"
+        assert decoded.page_id == 3
+
+    def test_empty_payload(self):
+        raw = Page(0, b"").encode(64)
+        assert Page.decode(0, raw, 64).payload == b""
+
+    def test_exact_fit(self):
+        payload = b"x" * Page.capacity(128)
+        raw = Page(1, payload).encode(128)
+        assert Page.decode(1, raw, 128).payload == payload
+
+    def test_overflow(self):
+        payload = b"x" * (Page.capacity(128) + 1)
+        with pytest.raises(PageOverflowError) as exc:
+            Page(1, payload).encode(128)
+        assert exc.value.capacity == 128
+
+    def test_capacity(self):
+        assert Page.capacity(4096) == 4096 - HEADER_SIZE
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip_arbitrary_bytes(self, payload):
+        raw = Page(7, payload).encode(256)
+        assert Page.decode(7, raw, 256).payload == payload
+
+
+class TestCorruption:
+    def test_wrong_length(self):
+        with pytest.raises(PageCorruptedError):
+            Page.decode(0, b"\x00" * 100, 256)
+
+    def test_flipped_payload_byte(self):
+        raw = bytearray(Page(0, b"payload-bytes").encode(256))
+        raw[HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(PageCorruptedError) as exc:
+            Page.decode(0, bytes(raw), 256)
+        assert "checksum" in str(exc.value)
+
+    def test_absurd_length_field(self):
+        raw = bytearray(Page(0, b"abc").encode(256))
+        raw[0:4] = (10_000).to_bytes(4, "little")
+        with pytest.raises(PageCorruptedError):
+            Page.decode(0, bytes(raw), 256)

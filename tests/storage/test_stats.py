@@ -1,0 +1,51 @@
+"""Tests for I/O statistics accounting."""
+
+import pytest
+
+from repro.storage.stats import IOStats
+
+
+class TestIOStats:
+    def test_counters(self):
+        s = IOStats()
+        s.record_read()
+        s.record_read()
+        s.record_write()
+        s.record_hit()
+        assert s.reads == 2
+        assert s.writes == 1
+        assert s.buffer_hits == 1
+        assert s.logical_reads == 3
+
+    def test_io_time(self):
+        s = IOStats(page_read_cost_s=0.01)
+        for _ in range(5):
+            s.record_read()
+        assert s.io_time_s == pytest.approx(0.05)
+
+    def test_reset_preserves_cost(self):
+        s = IOStats(page_read_cost_s=0.002)
+        s.record_read()
+        s.reset()
+        assert s.reads == 0
+        assert s.page_read_cost_s == 0.002
+
+    def test_snapshot_is_independent(self):
+        s = IOStats()
+        s.record_read()
+        snap = s.snapshot()
+        s.record_read()
+        assert snap.reads == 1
+        assert s.reads == 2
+
+    def test_delta_since(self):
+        s = IOStats()
+        s.record_read()
+        snap = s.snapshot()
+        s.record_read()
+        s.record_write()
+        s.record_hit()
+        delta = s.delta_since(snap)
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.buffer_hits == 1

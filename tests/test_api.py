@@ -1,0 +1,50 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_error_hierarchy(self):
+        from repro import errors
+
+        for name in (
+            "GeometryError",
+            "StorageError",
+            "PageNotFoundError",
+            "PageCorruptedError",
+            "PageOverflowError",
+            "IndexError_",
+            "VocabularyError",
+            "QueryError",
+            "DatasetError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.bench as bench
+        import repro.core as core
+        import repro.data as data
+        import repro.geometry as geometry
+        import repro.hilbert as hilbert
+        import repro.index as index
+        import repro.model as model
+        import repro.storage as storage
+        import repro.text as text
+
+        for module in (
+            bench, core, data, geometry, hilbert, index, model, storage, text
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__,
+                    name,
+                )

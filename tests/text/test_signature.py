@@ -1,0 +1,89 @@
+"""Tests for superimposed-coding signatures (IR²-tree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.text.signature import SignatureScheme
+
+term_sets = st.frozensets(st.integers(min_value=0, max_value=127), max_size=10)
+
+
+class TestScheme:
+    def test_sizing_for_vocabulary(self):
+        assert SignatureScheme.for_vocabulary(256).signature_bits == 128
+        assert SignatureScheme.for_vocabulary(16).signature_bits == 32
+
+    def test_byte_length(self):
+        assert SignatureScheme(64).byte_length == 8
+        assert SignatureScheme(65).byte_length == 9
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            SignatureScheme(4)
+        with pytest.raises(IndexError_):
+            SignatureScheme(64, bits_per_term=0)
+        with pytest.raises(IndexError_):
+            SignatureScheme(64, bits_per_term=100)
+
+    def test_term_signature_deterministic(self):
+        scheme = SignatureScheme(64)
+        assert scheme.term_signature(5) == scheme.term_signature(5)
+
+    def test_term_signature_popcount(self):
+        scheme = SignatureScheme(64, bits_per_term=3)
+        for t in range(50):
+            assert scheme.term_signature(t).bit_count() >= 3
+
+
+class TestNoFalseNegatives:
+    """The correctness-critical property: a term present below a node is
+    always reported as possibly present."""
+
+    @given(term_sets)
+    def test_members_always_match(self, terms):
+        scheme = SignatureScheme(64)
+        sig = scheme.make(terms)
+        for t in terms:
+            assert scheme.may_contain(sig, t)
+
+    @given(term_sets, term_sets)
+    def test_union_covers_both(self, a, b):
+        scheme = SignatureScheme(64)
+        union_sig = scheme.make(a) | scheme.make(b)
+        for t in a | b:
+            assert scheme.may_contain(union_sig, t)
+
+    @given(term_sets, term_sets)
+    def test_matching_terms_upper_bounds_truth(self, terms, query):
+        scheme = SignatureScheme(64)
+        sig = scheme.make(terms)
+        true_matches = len(terms & query)
+        assert scheme.matching_terms(sig, query) >= true_matches
+
+
+class TestFromMask:
+    @given(term_sets)
+    def test_from_mask_matches_make(self, terms):
+        scheme = SignatureScheme(64)
+        mask = 0
+        for t in terms:
+            mask |= 1 << t
+        assert scheme.from_mask(mask) == scheme.make(terms)
+
+    def test_empty_mask(self):
+        assert SignatureScheme(64).from_mask(0) == 0
+
+
+class TestFalsePositiveRate:
+    def test_false_positives_exist_but_bounded(self):
+        """With a saturating OR of many terms, unrelated terms may match —
+        the expected cost of signatures — but a small signature over few
+        terms should stay selective."""
+        scheme = SignatureScheme(128, bits_per_term=3)
+        sig = scheme.make(range(4))
+        false_hits = sum(
+            1 for t in range(200, 400) if scheme.may_contain(sig, t)
+        )
+        assert false_hits < 20  # 4 terms x 3 bits in 128 -> fp rate ~0.1%

@@ -1,0 +1,100 @@
+"""Tests for Jaccard similarity and the node-level upper bound."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    jaccard,
+    jaccard_sets,
+    mask_of,
+    mask_to_ids,
+    overlap_ratio,
+)
+
+masks = st.integers(min_value=0, max_value=2**24 - 1)
+
+
+class TestMaskHelpers:
+    def test_mask_of(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_mask_to_ids(self):
+        assert mask_to_ids(0b100101) == frozenset({0, 2, 5})
+
+    @given(st.frozensets(st.integers(min_value=0, max_value=63), max_size=8))
+    def test_roundtrip(self, ids):
+        assert mask_to_ids(mask_of(ids)) == ids
+
+
+class TestJaccard:
+    def test_paper_example_beijing(self):
+        """Beijing Restaurant: {chinese, asian} vs {italian, pizza} -> 0,
+        s(r1) = 0.5*0.6 = 0.3 as in Section 3."""
+        t = mask_of([0, 1])  # chinese, asian
+        w = mask_of([2, 3])  # italian, pizza
+        assert jaccard(t, w) == 0.0
+        assert 0.5 * 0.6 + 0.5 * jaccard(t, w) == pytest.approx(0.3)
+
+    def test_paper_example_ontarios(self):
+        """Ontario's Pizza: {pizza, italian} vs {italian, pizza} -> 1,
+        s(r6) = 0.5*0.8 + 0.5*1 = 0.9 as in Section 3."""
+        t = mask_of([2, 3])
+        w = mask_of([2, 3])
+        assert jaccard(t, w) == 1.0
+        assert 0.5 * 0.8 + 0.5 * 1.0 == pytest.approx(0.9)
+
+    def test_partial_overlap(self):
+        assert jaccard(0b011, 0b110) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(0, 0) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard(0b1, 0) == 0.0
+
+    @given(masks, masks)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(masks, masks)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(masks)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == (1.0 if a else 0.0)
+
+    @given(
+        st.frozensets(st.integers(min_value=0, max_value=31), max_size=6),
+        st.frozensets(st.integers(min_value=0, max_value=31), max_size=6),
+    )
+    def test_matches_set_version(self, a, b):
+        assert jaccard(mask_of(a), mask_of(b)) == pytest.approx(
+            jaccard_sets(a, b)
+        )
+
+
+class TestOverlapRatio:
+    def test_upper_bounds_jaccard(self):
+        """The SRT bound: |e.W ∩ W|/|W| >= J(t.W, W) for any t under e."""
+        node = 0b111100  # union of child keywords
+        query = 0b000110
+        child = 0b000100  # subset of node
+        assert overlap_ratio(node, query) >= jaccard(child, query)
+
+    @given(masks, masks, masks)
+    def test_upper_bound_property(self, child, extra, query):
+        node = child | extra  # node summary covers the child
+        assert overlap_ratio(node, query) + 1e-12 >= jaccard(child, query)
+
+    def test_empty_query(self):
+        assert overlap_ratio(0b111, 0) == 0.0
+
+    def test_full_cover(self):
+        assert overlap_ratio(0b111, 0b101) == 1.0
+
+    @given(masks, masks)
+    def test_monotone_in_node(self, node, query):
+        bigger = node | (query and (1 << 30))
+        assert overlap_ratio(bigger, query) >= overlap_ratio(node, query)

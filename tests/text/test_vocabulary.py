@@ -1,0 +1,68 @@
+"""Tests for the keyword vocabulary."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        v = Vocabulary()
+        pid = v.add("pizza")
+        assert v.term_id("pizza") == pid
+        assert v.term(pid) == "pizza"
+        assert v.size == 1
+
+    def test_add_idempotent(self):
+        v = Vocabulary()
+        assert v.add("pizza") == v.add("pizza")
+        assert v.size == 1
+
+    def test_normalization(self):
+        v = Vocabulary(["Pizza"])
+        assert v.term_id("  PIZZA ") == 0
+        assert "pizza" in v
+
+    def test_unknown_term(self):
+        v = Vocabulary(["a"])
+        assert v.term_id("b") is None
+        with pytest.raises(VocabularyError):
+            v.require_id("b")
+
+    def test_empty_term_rejected(self):
+        v = Vocabulary()
+        with pytest.raises(VocabularyError):
+            v.add("   ")
+
+    def test_term_id_out_of_range(self):
+        v = Vocabulary(["a"])
+        with pytest.raises(VocabularyError):
+            v.term(5)
+
+    def test_encode_drops_unknown(self):
+        v = Vocabulary(["a", "b"])
+        assert v.encode(["a", "zzz", "b"]) == frozenset({0, 1})
+
+    def test_encode_adding_registers(self):
+        v = Vocabulary(["a"])
+        ids = v.encode_adding(["a", "b"])
+        assert ids == frozenset({0, 1})
+        assert v.size == 2
+
+    def test_decode(self):
+        v = Vocabulary(["a", "b", "c"])
+        assert v.decode([0, 2]) == frozenset({"a", "c"})
+
+    def test_mask_of(self):
+        v = Vocabulary(["a", "b", "c"])
+        assert v.mask_of(["a", "c", "unknown"]) == 0b101
+
+    def test_iteration_order(self):
+        v = Vocabulary(["x", "y", "z"])
+        assert list(v) == ["x", "y", "z"]
+        assert len(v) == 3
+
+    def test_equality(self):
+        assert Vocabulary(["a", "b"]) == Vocabulary(["a", "b"])
+        assert Vocabulary(["a"]) != Vocabulary(["b"])

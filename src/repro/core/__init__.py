@@ -7,6 +7,7 @@ from repro.core.combinations import (
     Combination,
     CombinationIterator,
 )
+from repro.core.executor import BatchReport, QueryExecutor
 from repro.core.influence import stps_influence
 from repro.core.nearest import stps_nearest
 from repro.core.processor import QueryProcessor
@@ -26,10 +27,12 @@ from repro.core.voronoi import clip_voronoi_cell, nearest_relevant, voronoi_cell
 __all__ = [
     "PULL_PRIORITIZED",
     "PULL_ROUND_ROBIN",
+    "BatchReport",
     "Combination",
     "CombinationIterator",
     "FeatureStream",
     "PreferenceQuery",
+    "QueryExecutor",
     "QueryProcessor",
     "QueryResult",
     "QueryStats",

@@ -1,0 +1,196 @@
+"""Concurrent batch-query execution over shared read-only indexes.
+
+A :class:`QueryExecutor` couples a :class:`~repro.core.processor.QueryProcessor`
+with a thread pool and runs many :class:`~repro.core.query.PreferenceQuery`s
+against the *same* index objects.  The indexes are treated as read-only:
+the buffer pool and the decoded-node cache take internal locks around
+their LRU bookkeeping (see :mod:`repro.storage.buffer` and
+:mod:`repro.storage.node_cache`), so concurrent traversals are safe and
+every thread benefits from nodes decoded by the others — a repeated-query
+workload runs almost entirely out of the decoded-node cache.
+
+Each query is executed by exactly the same code path the serial
+:meth:`QueryProcessor.query` uses, so per-query *results* are identical
+to a serial run.  Per-query *I/O counters* are attributed from shared
+page-file statistics and therefore include activity of concurrently
+running queries; use :meth:`BatchReport.aggregate` (or the per-tree
+``IOStats``) for workload-level accounting instead.
+
+Within a single STDS query, ``parallelism`` additionally scores every
+chunk against all feature sets concurrently (see
+:func:`repro.core.stds.stds` — results stay byte-identical to the serial
+fold).
+
+Batches are deduplicated by default: identical queries (``PreferenceQuery``
+is hashable by value) execute once and share their immutable result, so
+repeated-query workloads pay for each distinct query only.  Disable with
+``dedup=False`` when per-entry execution matters.
+
+Typical use::
+
+    with QueryExecutor(processor, max_workers=4) as executor:
+        results = executor.query_many(queries)          # STPS, in order
+        report = executor.run(queries, algorithm="stds")
+        print(report.throughput_qps, report.node_cache_hit_rate)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.combinations import PULL_PRIORITIZED
+from repro.core.query import PreferenceQuery
+from repro.core.results import QueryResult
+from repro.core.stds import DEFAULT_BATCH_SIZE
+from repro.errors import QueryError
+
+DEFAULT_MAX_WORKERS = 4
+
+
+@dataclass(slots=True)
+class BatchReport:
+    """Results of a batch run plus workload-level cost accounting."""
+
+    results: list[QueryResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    queries: int = 0
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
+    io_reads: int = 0
+    buffer_hits: int = 0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per second of wall time."""
+        return self.queries / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def node_cache_hit_rate(self) -> float:
+        """Decoded-node cache hits / lookups across the whole batch."""
+        total = self.node_cache_hits + self.node_cache_misses
+        return self.node_cache_hits / total if total else 0.0
+
+
+class QueryExecutor:
+    """Runs batches of preference queries on a shared thread pool."""
+
+    def __init__(self, processor, max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+        if max_workers < 1:
+            raise QueryError(f"max_workers must be >= 1, got {max_workers}")
+        self.processor = processor
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down; subsequent submissions raise."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries: Sequence[PreferenceQuery],
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        dedup: bool = True,
+    ) -> list[QueryResult]:
+        """Execute many queries concurrently; results in input order.
+
+        Every query runs the exact serial code path, so each
+        :class:`QueryResult`'s items match a serial
+        :meth:`QueryProcessor.query` call for the same query.
+
+        ``dedup`` (default on) executes each *distinct* query in the
+        batch exactly once and shares the :class:`QueryResult` across its
+        duplicates — the batch-level analogue of common-subexpression
+        elimination.  Query evaluation is deterministic and results are
+        immutable, so the answer at every position is identical to a
+        serial run; only the attributed per-query stats collapse onto the
+        shared object.  Pass ``dedup=False`` to force one execution per
+        entry (e.g. when measuring per-query costs).
+        """
+        if self._closed:
+            raise QueryError("executor is closed")
+        if dedup:
+            # PreferenceQuery is a frozen dataclass — hashable by value.
+            distinct: dict[PreferenceQuery, int] = {}
+            for query in queries:
+                distinct.setdefault(query, len(distinct))
+            to_run: Sequence[PreferenceQuery] = list(distinct)
+        else:
+            to_run = queries
+        futures = [
+            self._pool.submit(
+                self.processor.query,
+                query,
+                algorithm=algorithm,
+                pulling=pulling,
+                batch_size=batch_size,
+                parallelism=parallelism,
+            )
+            for query in to_run
+        ]
+        results = [f.result() for f in futures]
+        if not dedup:
+            return results
+        return [results[distinct[query]] for query in queries]
+
+    def run(
+        self,
+        queries: Sequence[PreferenceQuery],
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        dedup: bool = True,
+    ) -> BatchReport:
+        """Like :meth:`query_many` but with workload-level accounting.
+
+        The I/O and cache counters reflect the work actually performed —
+        with ``dedup`` on, duplicated queries execute once, so counters
+        cover the distinct executions while ``queries``/``throughput_qps``
+        count every answered position.
+        """
+        trees = [self.processor.object_tree] + list(self.processor.feature_trees)
+        before = [t.pagefile.stats.snapshot() for t in trees]
+        t0 = time.perf_counter()
+        results = self.query_many(
+            queries,
+            algorithm=algorithm,
+            pulling=pulling,
+            batch_size=batch_size,
+            parallelism=parallelism,
+            dedup=dedup,
+        )
+        report = BatchReport(
+            results=results,
+            wall_s=time.perf_counter() - t0,
+            queries=len(results),
+        )
+        for tree, snap in zip(trees, before):
+            delta = tree.pagefile.stats.delta_since(snap)
+            report.node_cache_hits += delta.node_cache_hits
+            report.node_cache_misses += delta.node_cache_misses
+            report.io_reads += delta.reads
+            report.buffer_hits += delta.buffer_hits
+        return report

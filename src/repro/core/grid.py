@@ -6,12 +6,17 @@ is within range, and assigns scores to every in-range pending object when
 a feature pops.  Both tests need "which pending objects are near this
 rectangle/point" — a uniform grid with cell size ``r`` answers them in
 expected O(1) per candidate.
+
+The query methods are hand-inlined (no intermediate ``Rect``, no
+generator machinery, flat candidate loops): they sit on the hottest STDS
+path — one ``near_point`` per popped feature, one ``any_near_rect`` per
+index entry considered for expansion.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
 
 from repro.errors import QueryError
 from repro.geometry.rect import Rect
@@ -24,8 +29,18 @@ class SpatialGrid:
         if cell_size <= 0.0:
             raise QueryError(f"cell size must be positive, got {cell_size}")
         self.cell_size = cell_size
+        # All cell computations use the same floor(x * inv) mapping, so
+        # insert/remove/query agree on the cell of every point.
+        self._inv = 1.0 / cell_size
         self._cells: dict[tuple[int, int], dict[int, tuple[float, float]]] = {}
         self._count = 0
+        # Conservative bounding box over every point ever inserted; it is
+        # never shrunk on removal, so all live points always lie inside.
+        # ``any_near_rect`` uses it to answer big-rectangle probes in O(1).
+        self._minx = math.inf
+        self._miny = math.inf
+        self._maxx = -math.inf
+        self._maxy = -math.inf
 
     def __len__(self) -> int:
         return self._count
@@ -36,16 +51,27 @@ class SpatialGrid:
 
     def insert(self, oid: int, x: float, y: float) -> None:
         """Add a point (ids must be unique; re-insertion is an error)."""
-        cell = self._cell_of(x, y)
-        bucket = self._cells.setdefault(cell, {})
-        if oid in bucket:
+        cell = (math.floor(x * self._inv), math.floor(y * self._inv))
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            self._cells[cell] = {oid: (x, y)}
+        elif oid in bucket:
             raise QueryError(f"object {oid} already in grid")
-        bucket[oid] = (x, y)
+        else:
+            bucket[oid] = (x, y)
         self._count += 1
+        if x < self._minx:
+            self._minx = x
+        if x > self._maxx:
+            self._maxx = x
+        if y < self._miny:
+            self._miny = y
+        if y > self._maxy:
+            self._maxy = y
 
     def remove(self, oid: int, x: float, y: float) -> None:
         """Remove a previously inserted point."""
-        cell = self._cell_of(x, y)
+        cell = (math.floor(x * self._inv), math.floor(y * self._inv))
         bucket = self._cells.get(cell)
         if bucket is None or oid not in bucket:
             raise QueryError(f"object {oid} not in grid")
@@ -54,54 +80,193 @@ class SpatialGrid:
             del self._cells[cell]
         self._count -= 1
 
+    def discard(self, oid: int, x: float, y: float) -> bool:
+        """Remove a point if present; returns whether it was there."""
+        cell = (math.floor(x * self._inv), math.floor(y * self._inv))
+        bucket = self._cells.get(cell)
+        if bucket is None or oid not in bucket:
+            return False
+        del bucket[oid]
+        if not bucket:
+            del self._cells[cell]
+        self._count -= 1
+        return True
+
     def bulk_insert(self, points: Iterable[tuple[int, float, float]]) -> None:
+        cells = self._cells
+        inv = self._inv
+        floor = math.floor
+        added = 0
+        minx, miny = self._minx, self._miny
+        maxx, maxy = self._maxx, self._maxy
         for oid, x, y in points:
-            self.insert(oid, x, y)
+            cell = (floor(x * inv), floor(y * inv))
+            bucket = cells.get(cell)
+            if bucket is None:
+                cells[cell] = {oid: (x, y)}
+            elif oid in bucket:
+                raise QueryError(f"object {oid} already in grid")
+            else:
+                bucket[oid] = (x, y)
+            added += 1
+            if x < minx:
+                minx = x
+            if x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            if y > maxy:
+                maxy = y
+        self._count += added
+        self._minx, self._miny = minx, miny
+        self._maxx, self._maxy = maxx, maxy
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def near_rect(
         self, rect: Rect, radius: float
-    ) -> Iterator[tuple[int, float, float]]:
+    ) -> list[tuple[int, float, float]]:
         """Points whose distance to ``rect`` is at most ``radius``."""
-        expanded = Rect(
-            (rect.low[0] - radius, rect.low[1] - radius),
-            (rect.high[0] + radius, rect.high[1] + radius),
-        )
-        for oid, x, y in self._candidates(expanded):
-            if rect.mindist((x, y)) <= radius:
-                yield oid, x, y
+        (lx, ly), (hx, hy) = rect.low, rect.high
+        inv = self._inv
+        floor = math.floor
+        cx0 = floor((lx - radius) * inv)
+        cx1 = floor((hx + radius) * inv)
+        cy0 = floor((ly - radius) * inv)
+        cy1 = floor((hy + radius) * inv)
+        cells = self._cells
+        r2 = radius * radius
+        out: list[tuple[int, float, float]] = []
+        # Large rects cover more cells than exist — walk the occupied
+        # cells instead of the (mostly empty) cell range.
+        if (cx1 - cx0 + 1) * (cy1 - cy0 + 1) > len(cells):
+            buckets = [
+                bucket
+                for (cx, cy), bucket in cells.items()
+                if cx0 <= cx <= cx1 and cy0 <= cy <= cy1
+            ]
+        else:
+            buckets = [
+                bucket
+                for cx in range(cx0, cx1 + 1)
+                for cy in range(cy0, cy1 + 1)
+                if (bucket := cells.get((cx, cy)))
+            ]
+        for bucket in buckets:
+            for oid, (x, y) in bucket.items():
+                dx = lx - x if x < lx else (x - hx if x > hx else 0.0)
+                dy = ly - y if y < ly else (y - hy if y > hy else 0.0)
+                if dx * dx + dy * dy <= r2:
+                    out.append((oid, x, y))
+        return out
 
     def any_near_rect(self, rect: Rect, radius: float) -> bool:
         """True when at least one point is within ``radius`` of ``rect``."""
-        for _ in self.near_rect(rect, radius):
+        if self._count == 0:
+            return False
+        (lx, ly), (hx, hy) = rect.low, rect.high
+        # O(1) fast path: the rectangle itself contains the (conservative)
+        # bounding box of all points, hence some live point at distance 0.
+        # High-level index entries — whose rectangles span most of the
+        # space — hit this constantly; the cell walk below costs
+        # O(occupied cells) for them.  (The *undilated* rect keeps the
+        # test exact: dilating by ``radius`` in L∞ would over-approximate
+        # the Euclidean distance near corners.)
+        if (
+            lx <= self._minx
+            and ly <= self._miny
+            and self._maxx <= hx
+            and self._maxy <= hy
+        ):
             return True
+        inv = self._inv
+        floor = math.floor
+        cx0 = floor((lx - radius) * inv)
+        cx1 = floor((hx + radius) * inv)
+        cy0 = floor((ly - radius) * inv)
+        cy1 = floor((hy + radius) * inv)
+        cells = self._cells
+        r2 = radius * radius
+        if (cx1 - cx0 + 1) * (cy1 - cy0 + 1) > len(cells):
+            candidates = (
+                bucket
+                for (cx, cy), bucket in cells.items()
+                if cx0 <= cx <= cx1 and cy0 <= cy <= cy1
+            )
+        else:
+            candidates = (
+                bucket
+                for cx in range(cx0, cx1 + 1)
+                for cy in range(cy0, cy1 + 1)
+                if (bucket := cells.get((cx, cy)))
+            )
+        for bucket in candidates:
+            for x, y in bucket.values():
+                dx = lx - x if x < lx else (x - hx if x > hx else 0.0)
+                dy = ly - y if y < ly else (y - hy if y > hy else 0.0)
+                if dx * dx + dy * dy <= r2:
+                    return True
         return False
+
+    def pop_within(self, x: float, y: float, radius: float) -> list[int]:
+        """Remove and return the ids of all points within ``radius``.
+
+        Fused variant of ``near_point`` + per-hit ``remove`` for the
+        batched STDS scan: one bucket pass finds and deletes the hits.
+        """
+        inv = self._inv
+        floor = math.floor
+        cx1 = floor((x + radius) * inv)
+        cy0 = floor((y - radius) * inv)
+        cy1 = floor((y + radius) * inv)
+        cells = self._cells
+        r2 = radius * radius
+        out: list[int] = []
+        for cx in range(floor((x - radius) * inv), cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                cell = (cx, cy)
+                bucket = cells.get(cell)
+                if not bucket:
+                    continue
+                hits = None
+                for oid, (px, py) in bucket.items():
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        if hits is None:
+                            hits = [oid]
+                        else:
+                            hits.append(oid)
+                if hits:
+                    for oid in hits:
+                        del bucket[oid]
+                    if not bucket:
+                        del cells[cell]
+                    self._count -= len(hits)
+                    out += hits
+        return out
 
     def near_point(
         self, x: float, y: float, radius: float
-    ) -> Iterator[tuple[int, float, float]]:
+    ) -> list[tuple[int, float, float]]:
         """Points within Euclidean ``radius`` of ``(x, y)``."""
-        expanded = Rect((x - radius, y - radius), (x + radius, y + radius))
-        r2 = radius * radius
-        for oid, px, py in self._candidates(expanded):
-            if (px - x) ** 2 + (py - y) ** 2 <= r2:
-                yield oid, px, py
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
-        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
-
-    def _candidates(self, rect: Rect) -> Iterator[tuple[int, float, float]]:
-        cx0, cy0 = self._cell_of(rect.low[0], rect.low[1])
-        cx1, cy1 = self._cell_of(rect.high[0], rect.high[1])
+        inv = self._inv
+        floor = math.floor
+        cx1 = floor((x + radius) * inv)
+        cy0 = floor((y - radius) * inv)
+        cy1 = floor((y + radius) * inv)
         cells = self._cells
-        for cx in range(cx0, cx1 + 1):
+        r2 = radius * radius
+        out: list[tuple[int, float, float]] = []
+        for cx in range(floor((x - radius) * inv), cx1 + 1):
             for cy in range(cy0, cy1 + 1):
                 bucket = cells.get((cx, cy))
-                if bucket:
-                    for oid, (x, y) in list(bucket.items()):
-                        yield oid, x, y
+                if not bucket:
+                    continue
+                for oid, (px, py) in bucket.items():
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append((oid, px, py))
+        return out

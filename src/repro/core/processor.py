@@ -25,7 +25,7 @@ from repro.core.influence import stps_influence
 from repro.core.nearest import stps_nearest
 from repro.core.query import PreferenceQuery, Variant
 from repro.core.results import QueryResult
-from repro.core.stds import stds
+from repro.core.stds import DEFAULT_BATCH_SIZE, stds
 from repro.core.stps import stps
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
@@ -101,6 +101,8 @@ class QueryProcessor:
         query: PreferenceQuery,
         algorithm: str = ALGORITHM_STPS,
         pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
     ) -> QueryResult:
         """Execute a query with the chosen algorithm.
 
@@ -108,9 +110,20 @@ class QueryProcessor:
         (Influence Score Search, the combination-free extension algorithm
         for the influence variant); the score variant comes from the
         query itself.
+
+        ``batch_size`` and ``parallelism`` tune the STDS scan (chunk size
+        of the batched Algorithm 2 and the number of threads scoring a
+        chunk against the feature sets concurrently); they are ignored by
+        the other algorithms.  Results never depend on either knob.
         """
         if algorithm == ALGORITHM_STDS:
-            return stds(self.object_tree, self.feature_trees, query)
+            return stds(
+                self.object_tree,
+                self.feature_trees,
+                query,
+                batch_size=batch_size,
+                parallelism=parallelism,
+            )
         if algorithm == ALGORITHM_ISS:
             from repro.core.influence_search import influence_search
 
@@ -129,6 +142,37 @@ class QueryProcessor:
                 self.object_tree, self.feature_trees, query, pulling
             )
         return stps_nearest(self.object_tree, self.feature_trees, query, pulling)
+
+    def query_many(
+        self,
+        queries,
+        algorithm: str = ALGORITHM_STPS,
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        max_workers: int = 4,
+        dedup: bool = True,
+    ) -> list[QueryResult]:
+        """Execute many queries concurrently; results in input order.
+
+        Convenience wrapper around
+        :class:`~repro.core.executor.QueryExecutor` for one-shot batches;
+        construct the executor directly to reuse its thread pool across
+        batches.  Each result's items are identical to a serial
+        :meth:`query` call for the same query.  ``dedup`` (default on)
+        executes duplicate queries once and shares the result object.
+        """
+        from repro.core.executor import QueryExecutor
+
+        with QueryExecutor(self, max_workers=max_workers) as executor:
+            return executor.query_many(
+                queries,
+                algorithm=algorithm,
+                pulling=pulling,
+                batch_size=batch_size,
+                parallelism=parallelism,
+                dedup=dedup,
+            )
 
     def stream(
         self,

@@ -32,10 +32,14 @@ class QueryStats:
     wall_s: float = 0.0
     io_reads: int = 0
     buffer_hits: int = 0
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
     io_time_s: float = 0.0
     combinations: int = 0
     features_pulled: int = 0
     objects_scored: int = 0
+    heap_pops: int = 0
+    nodes_expanded: int = 0
     voronoi_io_reads: int = 0
     voronoi_cpu_s: float = 0.0
     voronoi_io_time_s: float = 0.0
@@ -50,6 +54,12 @@ class QueryStats:
     def total_time_s(self) -> float:
         """CPU time plus simulated I/O time (what the paper's bars show)."""
         return self.wall_s + self.io_time_s
+
+    @property
+    def node_cache_hit_rate(self) -> float:
+        """Decoded-node cache hits / lookups; 0.0 when unused."""
+        total = self.node_cache_hits + self.node_cache_misses
+        return self.node_cache_hits / total if total else 0.0
 
 
 @dataclass(slots=True)
@@ -87,6 +97,8 @@ class StatsTracker:
             delta = pf.stats.delta_since(before)
             stats.io_reads += delta.reads
             stats.buffer_hits += delta.buffer_hits
+            stats.node_cache_hits += delta.node_cache_hits
+            stats.node_cache_misses += delta.node_cache_misses
             stats.io_time_s += delta.io_time_s
         return stats
 

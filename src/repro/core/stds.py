@@ -18,6 +18,17 @@ chunks so Algorithm 1's threshold pruning still kicks in between chunks.
 
 Section 7 adaptations (influence / nearest-neighbor) re-prioritize the
 same traversal and drop the range predicate, exactly as described.
+
+Performance notes (not part of the paper's algorithms):
+
+* leaf nodes are scored through the columnar numpy fast path when
+  available (:mod:`repro.index.leafdata`) — one array pass per leaf
+  instead of one Python iteration per entry, with bit-identical scores;
+* ``stds(..., parallelism=n)`` scores a chunk against all feature sets
+  concurrently on a thread pool and then *replays* the serial
+  threshold fold over the precomputed scores, so results are exactly
+  those of the serial path (``compute_scores_batch`` values depend only
+  on the object and the tree, never on the rest of the batch).
 """
 
 from __future__ import annotations
@@ -25,9 +36,16 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+try:  # optional fast path; see repro.index.leafdata
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 from repro.core.grid import SpatialGrid
 from repro.core.query import PreferenceQuery, Variant
+from repro.index.leafdata import object_leaf_arrays, vectorized_enabled
 from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
@@ -45,38 +63,63 @@ def compute_score(
     query: PreferenceQuery,
     mask: int,
     point: tuple[float, float],
+    stats: QueryStats | None = None,
 ) -> float:
     """``τ_i(p)`` for one object and one feature set (range variant)."""
     scorer = tree.make_scorer(mask, query.lam)
     radius = query.radius
+    r2 = radius * radius
+    px, py = point
     heap: list[tuple[float, int, object]] = []
     counter = 0
 
-    def push(entries, is_leaf: bool) -> None:
+    def push_node(node) -> None:
         nonlocal counter
-        for e in entries:
-            if is_leaf:
+        if node.is_leaf:
+            arrays = tree.leaf_arrays(node)
+            if arrays is not None:
+                # Vectorized: score + filter the whole leaf at once and
+                # push only its best valid entry — any other entry of
+                # this leaf is dominated, so the traversal result is
+                # unchanged.
+                scores, relevant = scorer.leaf_score_arrays(arrays)
+                dx = arrays.xs - px
+                dy = arrays.ys - py
+                valid = relevant & (dx * dx + dy * dy <= r2)
+                if valid.any():
+                    best = int(np.argmax(np.where(valid, scores, -np.inf)))
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (-float(scores[best]), counter, node.entries[best]),
+                    )
+                return
+            for e in node.entries:
                 if (
                     scorer.leaf_relevant(e)
-                    and _dist(point, (e.x, e.y)) <= radius
+                    and _dist2(point, (e.x, e.y)) <= r2
                 ):
                     counter += 1
                     heapq.heappush(heap, (-scorer.leaf_score(e), counter, e))
-            else:
+        else:
+            for e in node.entries:
                 if scorer.node_relevant(e) and e.rect.mindist(point) <= radius:
                     counter += 1
                     heapq.heappush(heap, (-scorer.node_bound(e), counter, e))
 
     if tree.root_id is None or tree.count == 0:
         return 0.0
-    root = tree.read_node(tree.root_id)
-    push(root.entries, root.is_leaf)
+    push_node(tree.read_node(tree.root_id))
     while heap:
         neg_bound, _, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
         if isinstance(entry, FeatureLeafEntry):
             return -neg_bound
         node = tree.read_node(entry.child)
-        push(node.entries, node.is_leaf)
+        if stats is not None:
+            stats.nodes_expanded += 1
+        push_node(node)
     return 0.0
 
 
@@ -85,6 +128,7 @@ def compute_score_influence(
     query: PreferenceQuery,
     mask: int,
     point: tuple[float, float],
+    stats: QueryStats | None = None,
 ) -> float:
     """Influence ``τ_i(p)`` (Definition 6): no range cut-off, the
     priority of each entry is its influence bound ``ŝ(e)·2^(-mindist/r)``."""
@@ -115,9 +159,13 @@ def compute_score_influence(
     push(root.entries, root.is_leaf)
     while heap:
         neg_bound, _, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
         if isinstance(entry, FeatureLeafEntry):
             return -neg_bound
         node = tree.read_node(entry.child)
+        if stats is not None:
+            stats.nodes_expanded += 1
         push(node.entries, node.is_leaf)
     return 0.0
 
@@ -127,6 +175,7 @@ def compute_score_nearest(
     query: PreferenceQuery,
     mask: int,
     point: tuple[float, float],
+    stats: QueryStats | None = None,
 ) -> float:
     """Nearest-neighbor ``τ_i(p)`` (Definition 7): the score of the
     closest *relevant* feature — best-first by minimum distance with the
@@ -154,9 +203,13 @@ def compute_score_nearest(
     push(root.entries, root.is_leaf)
     while heap:
         _, _, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
         if isinstance(entry, FeatureLeafEntry):
             return scorer.leaf_score(entry)
         node = tree.read_node(entry.child)
+        if stats is not None:
+            stats.nodes_expanded += 1
         push(node.entries, node.is_leaf)
     return 0.0
 
@@ -164,54 +217,122 @@ def compute_score_nearest(
 # ----------------------------------------------------------------------
 # batched Algorithm 2 (range variant)
 # ----------------------------------------------------------------------
+#: Safety margin for the early-drop rule in :func:`compute_scores_batch`.
+#: Must exceed the worst-case rounding error of a ``c``-term partial-sum
+#: (≈ ``c`` ulps of 1.0 ≈ 1e-15) by a wide margin.
+_DROP_EPS = 1e-9
+
+
 def compute_scores_batch(
     tree: FeatureTree,
     query: PreferenceQuery,
     mask: int,
     pending: dict[int, tuple[float, float]],
+    stats: QueryStats | None = None,
+    partial: dict[int, float] | None = None,
+    threshold: float = -math.inf,
+    remaining_sets: int = 0,
 ) -> dict[int, float]:
     """``τ_i(p)`` for a batch of objects in one index traversal.
 
     ``pending`` maps oid -> (x, y).  Returns oid -> score; objects with no
-    relevant in-range feature get 0.0.
+    relevant in-range feature get 0.0.  Scores depend only on the object
+    location and the tree, never on the other batch members — the batch
+    only shares traversal work.
+
+    When the caller's threshold fold state (``partial``, ``threshold``,
+    ``remaining_sets``) is supplied, the drain additionally drops pending
+    objects that can no longer reach the top-k: best-first pop bounds are
+    non-increasing, so once the popped bound ``b`` satisfies
+    ``partial[p] + b + remaining_sets < threshold`` (strictly), object
+    ``p``'s final aggregate is strictly below the final k-th score no
+    matter how it resolves, and every later candidate filter discards it
+    either way — dropping it early changes only work, never results.
     """
     scores = {oid: 0.0 for oid in pending}
     if tree.root_id is None or tree.count == 0 or not pending:
         return scores
     radius = query.radius
     scorer = tree.make_scorer(mask, query.lam)
+    # The pending set lives in a uniform grid (cell size ``r``): both hot
+    # membership tests — "who is within range of this popped feature" and
+    # "is any pending object near this rectangle" — run in expected O(1)
+    # per candidate.  Both scoring paths (vectorized and scalar) share
+    # this structure, so traversal decisions are trivially identical.
     grid = SpatialGrid(max(radius, 1e-6))
     grid.bulk_insert((oid, x, y) for oid, (x, y) in pending.items())
+    pop_within = grid.pop_within
+    any_near_rect = grid.any_near_rect
+    grid_discard = grid.discard
+
+    # Max-heap of (-needed, oid): object ``oid`` is doomed once the pop
+    # bound falls strictly below ``needed = threshold - remaining - τ̂``.
+    # ``_DROP_EPS`` keeps the test conservative under floating point:
+    # rearranged sums differ from the fold's own accumulation by ~1e-16,
+    # so backing the cut off by 1e-9 can only *shrink* the drop set —
+    # never drop an object whose exact aggregate ties the k-th score.
+    drops: list[tuple[float, int]] = []
+    if partial is not None and threshold > -math.inf:
+        slack = threshold - remaining_sets - _DROP_EPS
+        for oid in pending:
+            needed = slack - partial[oid]
+            if needed > 0.0:
+                drops.append((-needed, oid))
+        heapq.heapify(drops)
 
     heap: list[tuple[float, int, object]] = []
     counter = 0
 
-    def push(entries, is_leaf: bool) -> None:
+    def push_node(node) -> None:
         nonlocal counter
-        for e in entries:
-            if not scorer.relevant(e):
-                continue
-            counter += 1
-            if is_leaf:
-                heapq.heappush(heap, (-scorer.leaf_score(e), counter, e))
-            else:
-                heapq.heappush(heap, (-scorer.node_bound(e), counter, e))
+        if node.is_leaf:
+            arrays = tree.leaf_arrays(node)
+            if arrays is not None:
+                # Vectorized: one array pass scores the leaf; only the
+                # relevant entries reach the heap (bulk-converted to
+                # Python floats — ``tolist`` is far cheaper than
+                # per-element indexing).
+                leaf_scores, relevant = scorer.leaf_score_arrays(arrays)
+                idx = relevant.nonzero()[0]
+                if idx.size:
+                    entries = node.entries
+                    values = leaf_scores[idx].tolist()
+                    for i, value in zip(idx.tolist(), values):
+                        counter += 1
+                        heapq.heappush(heap, (-value, counter, entries[i]))
+                return
+            for e in node.entries:
+                if scorer.leaf_relevant(e):
+                    counter += 1
+                    heapq.heappush(heap, (-scorer.leaf_score(e), counter, e))
+        else:
+            for e in node.entries:
+                if scorer.node_relevant(e):
+                    counter += 1
+                    heapq.heappush(heap, (-scorer.node_bound(e), counter, e))
 
-    root = tree.read_node(tree.root_id)
-    push(root.entries, root.is_leaf)
-    while heap and not grid.is_empty:
-        neg_bound, _, entry = heapq.heappop(heap)
+    push_node(tree.read_node(tree.root_id))
+    heappop = heapq.heappop
+    while heap and len(grid):
+        neg_bound, _, entry = heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+        while drops and drops[0][0] < neg_bound:
+            # needed > bound (both negated): the object is out of reach.
+            _, oid = heappop(drops)
+            x, y = pending[oid]
+            grid_discard(oid, x, y)
         if isinstance(entry, FeatureLeafEntry):
-            resolved = list(grid.near_point(entry.x, entry.y, radius))
-            for oid, x, y in resolved:
+            for oid in pop_within(entry.x, entry.y, radius):
                 scores[oid] = -neg_bound
-                grid.remove(oid, x, y)
         else:
             # Expand only when some pending object is within range of the
             # entry (the batched expansion rule of Section 5).
-            if grid.any_near_rect(entry.rect, radius):
+            if any_near_rect(entry.rect, radius):
                 node = tree.read_node(entry.child)
-                push(node.entries, node.is_leaf)
+                if stats is not None:
+                    stats.nodes_expanded += 1
+                push_node(node)
     return scores
 
 
@@ -223,6 +344,7 @@ def stds(
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    parallelism: int | None = None,
 ) -> QueryResult:
     """Run STDS for any score variant.
 
@@ -230,30 +352,71 @@ def stds(
     and nearest-neighbor variants use the per-object adaptations of
     Section 7 (they are evaluated in the paper only through STPS, but are
     provided for completeness and as a correctness oracle).
+
+    ``batch_size`` controls the chunking of the scan (threshold pruning
+    kicks in between chunks).  ``parallelism`` > 1 scores each chunk
+    against all feature sets concurrently (range variant only; results
+    are identical to the serial path, see module docstring).
     """
     if len(feature_trees) != query.c:
         raise QueryError(
             f"query addresses {query.c} feature sets, processor has "
             f"{len(feature_trees)}"
         )
+    if batch_size < 1:
+        raise QueryError(f"batch size must be >= 1, got {batch_size}")
+    if parallelism is not None and parallelism < 1:
+        raise QueryError(f"parallelism must be >= 1, got {parallelism}")
     tracker = StatsTracker(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
 
-    objects = [(e.oid, e.x, e.y) for e in object_tree.all_entries()]
+    objects = _scan_objects(object_tree)
     stats.objects_scored = len(objects)
 
     if query.variant is Variant.RANGE:
-        candidates = _stds_range_batched(
-            feature_trees, query, objects, batch_size
-        )
+        workers = 0 if parallelism is None else min(parallelism, query.c)
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                candidates = _stds_range_batched(
+                    feature_trees, query, objects, batch_size, stats, pool
+                )
+        else:
+            candidates = _stds_range_batched(
+                feature_trees, query, objects, batch_size, stats
+            )
     else:
-        candidates = _stds_per_object(feature_trees, query, objects)
+        candidates = _stds_per_object(feature_trees, query, objects, stats)
 
     result = QueryResult(rank_items(candidates, query.k), stats)
     tracker.finish(stats)
     return result
+
+
+def _scan_objects(object_tree: ObjectRTree) -> list[tuple[int, float, float]]:
+    """Sequential scan of all data objects as ``(oid, x, y)`` tuples.
+
+    Uses the columnar leaf views when available (bulk ``tolist`` beats
+    per-entry attribute walks); the leaf order matches the scalar scan,
+    so chunking — and therefore every downstream result — is identical.
+    """
+    if np is not None and vectorized_enabled():
+        out: list[tuple[int, float, float]] = []
+        for node in object_tree.iter_leaves():
+            arrays = object_leaf_arrays(node)
+            if arrays is None:
+                out.extend((e.oid, e.x, e.y) for e in node.entries)
+            else:
+                out.extend(
+                    zip(
+                        arrays.oids.tolist(),
+                        arrays.xs.tolist(),
+                        arrays.ys.tolist(),
+                    )
+                )
+        return out
+    return [(e.oid, e.x, e.y) for e in object_tree.all_entries()]
 
 
 def _stds_range_batched(
@@ -261,33 +424,68 @@ def _stds_range_batched(
     query: PreferenceQuery,
     objects: list[tuple[int, float, float]],
     batch_size: int,
+    stats: QueryStats | None = None,
+    pool: ThreadPoolExecutor | None = None,
 ) -> list[tuple[float, int, float, float]]:
-    top: list[tuple[float, int, float, float]] = []  # min-heap by score
+    top: list[tuple[float, int]] = []  # min-heap by score
     threshold = -math.inf
     candidates: list[tuple[float, int, float, float]] = []
     c = query.c
 
     for start in range(0, len(objects), batch_size):
         chunk = objects[start : start + batch_size]
-        partial = {oid: 0.0 for oid, _, _ in chunk}
         pending = {oid: (x, y) for oid, x, y in chunk}
+        precomputed: list[dict[int, float]] | None = None
+        if pool is not None and c > 1:
+            # Score the chunk against every feature set concurrently,
+            # then replay the serial threshold fold below over the
+            # precomputed values — the fold sees exactly the numbers the
+            # serial path would have computed.
+            futures = [
+                pool.submit(
+                    compute_scores_batch,
+                    tree,
+                    query,
+                    query.keyword_masks[i],
+                    pending,
+                    stats,
+                )
+                for i, tree in enumerate(feature_trees)
+            ]
+            precomputed = [f.result() for f in futures]
+        partial = {oid: 0.0 for oid, _, _ in chunk}
         for i, tree in enumerate(feature_trees):
             if not pending:
                 break
-            scores = compute_scores_batch(
-                tree, query, query.keyword_masks[i], pending
-            )
             remaining_sets = c - i - 1
+            if precomputed is not None:
+                scores = precomputed[i]
+            else:
+                scores = compute_scores_batch(
+                    tree,
+                    query,
+                    query.keyword_masks[i],
+                    pending,
+                    stats,
+                    partial=partial,
+                    threshold=threshold,
+                    remaining_sets=remaining_sets,
+                )
+            if remaining_sets == 0:
+                # Last feature set: no survivor set to build.
+                for oid in pending:
+                    partial[oid] += scores[oid]
+                break
             survivors: dict[int, tuple[float, float]] = {}
             for oid, loc in pending.items():
-                partial[oid] += scores[oid]
+                total = partial[oid] + scores[oid]
+                partial[oid] = total
                 # τ̂(p): known partials + 1 per unknown set (Section 5).
-                if partial[oid] + remaining_sets > threshold:
+                if total + remaining_sets > threshold:
                     survivors[oid] = loc
             pending = survivors
-        locations = {oid: (x, y) for oid, x, y in chunk}
-        for oid, score in partial.items():
-            x, y = locations[oid]
+        for oid, x, y in chunk:
+            score = partial[oid]
             candidates.append((score, oid, x, y))
             if len(top) < query.k:
                 heapq.heappush(top, (score, -oid))
@@ -295,13 +493,31 @@ def _stds_range_batched(
                 heapq.heapreplace(top, (score, -oid))
             if len(top) == query.k:
                 threshold = top[0][0]
-    return candidates
+    return _prune_candidates(candidates, top, query.k)
+
+
+def _prune_candidates(
+    candidates: list[tuple[float, int, float, float]],
+    top: list[tuple[float, int]],
+    k: int,
+) -> list[tuple[float, int, float, float]]:
+    """Drop candidates that can no longer rank (score below the k-th).
+
+    Keeps every candidate at the cut-off score, so ``rank_items``'
+    (score desc, oid asc) tie-breaking sees everything it needs and the
+    top-k is exactly that of the unpruned list.
+    """
+    if len(top) < k:
+        return candidates
+    cutoff = top[0][0]
+    return [cand for cand in candidates if cand[0] >= cutoff]
 
 
 def _stds_per_object(
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
     objects: list[tuple[int, float, float]],
+    stats: QueryStats | None = None,
 ) -> list[tuple[float, int, float, float]]:
     score_fn = {
         Variant.INFLUENCE: compute_score_influence,
@@ -317,7 +533,7 @@ def _stds_per_object(
         for i, tree in enumerate(feature_trees):
             if total + (c - i) <= threshold:
                 break  # τ̂(p) can no longer reach the top-k
-            total += score_fn(tree, query, query.keyword_masks[i], (x, y))
+            total += score_fn(tree, query, query.keyword_masks[i], (x, y), stats)
         else:
             candidates.append((total, oid, x, y))
             if len(top) < query.k:
@@ -331,3 +547,10 @@ def _stds_per_object(
 
 def _dist(a: tuple[float, float], b: tuple[float, float]) -> float:
     return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def _dist2(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Squared distance — the same predicate the vectorized path uses."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy

@@ -107,6 +107,22 @@ class FeatureStream:
         scorer = self.scorer
         heap = self._heap
         if node.is_leaf:
+            arrays = self.tree.leaf_arrays(node)
+            if arrays is not None:
+                # Vectorized: score the whole leaf in one array pass
+                # (repro.index.leafdata); push order and score values
+                # are identical to the scalar loop below.
+                scores, relevant = scorer.leaf_score_arrays(arrays)
+                idx = relevant.nonzero()[0]
+                if idx.size:
+                    entries = node.entries
+                    values = scores[idx].tolist()
+                    for i, value in zip(idx.tolist(), values):
+                        self._counter += 1
+                        heapq.heappush(
+                            heap, (-value, self._counter, entries[i])
+                        )
+                return
             for entry in node.entries:
                 if scorer.leaf_relevant(entry):
                     self._counter += 1

@@ -25,8 +25,19 @@ from __future__ import annotations
 from abc import abstractmethod
 from collections.abc import Iterable
 
+try:  # optional fast path; see repro.index.leafdata
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
 from repro.errors import IndexError_
 from repro.geometry.rect import Rect
+from repro.index.leafdata import (
+    SCORE_MEMO_CAP,
+    feature_leaf_arrays,
+    pack_mask,
+    words_for_bytes,
+)
 from repro.index.nodes import (
     FeatureInternalEntry,
     FeatureLeafEntry,
@@ -51,13 +62,14 @@ class FeatureScorer:
     descendant feature.
     """
 
-    __slots__ = ("query_mask", "lam", "n_terms", "_sim_upper")
+    __slots__ = ("query_mask", "lam", "n_terms", "_sim_upper", "_qwords")
 
     def __init__(self, query_mask: int, lam: float, sim_upper) -> None:
         self.query_mask = query_mask
         self.lam = lam
         self.n_terms = query_mask.bit_count()
         self._sim_upper = sim_upper
+        self._qwords = None  # packed query mask, built on first vector use
 
     def leaf_score(self, entry: FeatureLeafEntry) -> float:
         """Exact preference score ``s(t)`` of a feature (Definition 1)."""
@@ -91,6 +103,40 @@ class FeatureScorer:
             return self.leaf_relevant(entry)
         return self.node_relevant(entry)
 
+    # ------------------------------------------------------------------
+    # vectorized fast path (see repro.index.leafdata)
+    # ------------------------------------------------------------------
+    def leaf_score_arrays(self, arrays):
+        """``(scores, relevant)`` arrays for a whole leaf at once.
+
+        Mirrors :meth:`leaf_score` / :meth:`leaf_relevant` operation for
+        operation so the results are bit-identical to the scalar loop:
+        ``|t.W ∩ W|`` comes from a vectorized popcount of the packed
+        masks and ``|t.W ∪ W| = |t.W| + |W| - |t.W ∩ W|`` (exact even
+        when the query mask is wider than the packed entry masks, whose
+        overflow bits can never intersect).
+        """
+        key = (self.query_mask, self.lam)
+        memo = arrays.memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        words = arrays.mask_words
+        qwords = self._qwords
+        if qwords is None or qwords.shape[0] != words.shape[1]:
+            qwords = pack_mask(self.query_mask, words.shape[1])
+            self._qwords = qwords
+        inter = np.bitwise_count(words & qwords).sum(axis=1, dtype=np.int64)
+        union = arrays.mask_pops + self.n_terms - inter
+        relevant = inter > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            jac = np.where(union > 0, inter / union, 0.0)
+        scores = (1.0 - self.lam) * arrays.scores + self.lam * jac
+        if len(memo) >= SCORE_MEMO_CAP:
+            memo.clear()
+        memo[key] = (scores, relevant)
+        return scores, relevant
+
 
 class FeatureTree(RTreeBase):
     """Shared construction & aggregate maintenance for feature indexes."""
@@ -100,8 +146,9 @@ class FeatureTree(RTreeBase):
         vocab_size: int,
         pagefile: PageFile | None = None,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        node_cache_pages: int | None = None,
     ) -> None:
-        super().__init__(pagefile, buffer_pages)
+        super().__init__(pagefile, buffer_pages, node_cache_pages)
         if vocab_size < 1:
             raise IndexError_("vocabulary size must be >= 1")
         self.vocab_size = vocab_size
@@ -109,6 +156,7 @@ class FeatureTree(RTreeBase):
             mask_bytes=(vocab_size + 7) // 8,
             summary_bytes=self.summary_bytes(),
         )
+        self._mask_words = words_for_bytes(self._codec.mask_bytes)
 
     @property
     def codec(self) -> FeatureNodeCodec:
@@ -183,6 +231,13 @@ class FeatureTree(RTreeBase):
 
     def entry_rect(self, entry) -> Rect:
         return entry.rect
+
+    # ------------------------------------------------------------------
+    # vectorized fast path
+    # ------------------------------------------------------------------
+    def leaf_arrays(self, node: Node):
+        """Columnar view of a leaf node, or None off the numpy fast path."""
+        return feature_leaf_arrays(node, self._mask_words)
 
     # ------------------------------------------------------------------
     # convenience

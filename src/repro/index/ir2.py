@@ -35,9 +35,10 @@ class IR2Tree(FeatureTree):
         pagefile: PageFile | None = None,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
         scheme: SignatureScheme | None = None,
+        node_cache_pages: int | None = None,
     ) -> None:
         self.scheme = scheme or SignatureScheme.for_vocabulary(vocab_size)
-        super().__init__(vocab_size, pagefile, buffer_pages)
+        super().__init__(vocab_size, pagefile, buffer_pages, node_cache_pages)
 
     def summary_bytes(self) -> int:
         return self.scheme.byte_length

@@ -19,7 +19,7 @@ the paper discusses for Figure 7(d).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import IndexError_, StorageError
 from repro.geometry.rect import Rect
@@ -99,15 +99,26 @@ Entry = (
 
 @dataclass(slots=True)
 class Node:
-    """A decoded R-tree node: page id, level (0 = leaf) and entries."""
+    """A decoded R-tree node: page id, level (0 = leaf) and entries.
+
+    ``_leaf_arrays`` caches the columnar (numpy) view of a leaf's entries
+    built by :mod:`repro.index.leafdata` for vectorized scoring; it is
+    populated lazily on first use and dropped whenever the node is
+    rewritten (``RTreeBase.write_node`` calls :meth:`invalidate_arrays`).
+    """
 
     page_id: int
     level: int
     entries: list
+    _leaf_arrays: object = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
         return self.level == LEAF_LEVEL
+
+    def invalidate_arrays(self) -> None:
+        """Drop the cached columnar view (entries may have mutated)."""
+        self._leaf_arrays = None
 
     def mbr(self) -> Rect:
         """MBR of all entries in this node."""

@@ -20,6 +20,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from repro.hilbert.curve import hilbert_key_2d
+from repro.index.leafdata import object_leaf_arrays
 from repro.index.nodes import Node, ObjectLeafEntry, ObjectNodeCodec
 from repro.index.rtree_base import DEFAULT_FILL, RTreeBase
 from repro.model.objects import DataObject
@@ -34,8 +35,9 @@ class ObjectRTree(RTreeBase):
         self,
         pagefile: PageFile | None = None,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        node_cache_pages: int | None = None,
     ) -> None:
-        super().__init__(pagefile, buffer_pages)
+        super().__init__(pagefile, buffer_pages, node_cache_pages)
         self._codec = ObjectNodeCodec()
 
     @property
@@ -64,13 +66,14 @@ class ObjectRTree(RTreeBase):
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
         method: str = "hilbert",
         fill: float = DEFAULT_FILL,
+        node_cache_pages: int | None = None,
     ) -> "ObjectRTree":
         """Build a tree from data objects.
 
         ``method`` is ``"hilbert"`` (bulk load in Hilbert order, default),
         ``"str"`` (sort-tile-recursive) or ``"insert"`` (one-by-one).
         """
-        tree = cls(pagefile, buffer_pages)
+        tree = cls(pagefile, buffer_pages, node_cache_pages)
         entries = [ObjectLeafEntry(o.oid, o.x, o.y) for o in objects]
         if method == "hilbert":
             entries.sort(key=lambda e: hilbert_key_2d(e.x, e.y))
@@ -103,13 +106,31 @@ class ObjectRTree(RTreeBase):
         """
         if self.root_id is None:
             return
+        r2 = radius * radius
         stack = [self.root_id]
         while stack:
             node = self.read_node(stack.pop())
             if node.is_leaf:
+                arrays = object_leaf_arrays(node)
+                if arrays is not None:
+                    # Vectorized: one distance test per anchor for the
+                    # whole leaf (see repro.index.leafdata).
+                    keep = None
+                    for ax, ay in anchors:
+                        dx = arrays.xs - ax
+                        dy = arrays.ys - ay
+                        near = dx * dx + dy * dy <= r2
+                        keep = near if keep is None else keep & near
+                    entries = node.entries
+                    if keep is None:
+                        yield from entries
+                    else:
+                        for i in keep.nonzero()[0]:
+                            yield entries[i]
+                    continue
                 for e in node.entries:
                     if all(
-                        _point_dist(e.x, e.y, a) <= radius for a in anchors
+                        _point_dist2(e.x, e.y, a) <= r2 for a in anchors
                     ):
                         yield e
             else:
@@ -187,10 +208,11 @@ class ObjectRTree(RTreeBase):
         yield from self.iter_leaf_entries()
 
 
-def _point_dist(x: float, y: float, anchor: tuple[float, float]) -> float:
+def _point_dist2(x: float, y: float, anchor: tuple[float, float]) -> float:
+    """Squared distance — the same predicate the vectorized path uses."""
     dx = x - anchor[0]
     dy = y - anchor[1]
-    return (dx * dx + dy * dy) ** 0.5
+    return dx * dx + dy * dy
 
 
 def _str_order(

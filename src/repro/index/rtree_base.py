@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import json
 from abc import ABC, abstractmethod
-from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 
 from repro.errors import IndexError_
 from repro.geometry.rect import Rect
 from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from repro.storage.node_cache import NodeCache
 from repro.storage.page import Page
 from repro.storage.pagefile import MemoryPageFile, PageFile
 from repro.storage.stats import IOStats
@@ -47,6 +47,7 @@ class RTreeBase(ABC):
         self,
         pagefile: PageFile | None = None,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        node_cache_pages: int | None = None,
     ) -> None:
         self.pagefile = pagefile if pagefile is not None else MemoryPageFile()
         self.buffer = BufferPool(self.pagefile, buffer_pages)
@@ -54,11 +55,19 @@ class RTreeBase(ABC):
         self.height = 0
         self.count = 0
         self._meta_page_id: int | None = None
-        # Decoded-node LRU alongside the page buffer: decoding a node is
-        # far more expensive than the page lookup, so hot nodes are kept
-        # in object form.  Hits count as buffer hits (one logical read).
-        self._node_cache: OrderedDict[int, Node] = OrderedDict()
-        self._node_cache_capacity = buffer_pages
+        # Decoded-node LRU above the page buffer: decoding a node is far
+        # more expensive than the page lookup, so hot nodes are kept in
+        # object form (see repro.storage.node_cache).  Hits additionally
+        # count as buffer hits (one logical read).  ``node_cache_pages``
+        # defaults to the buffer capacity; 0 disables the layer.
+        if node_cache_pages is None:
+            node_cache_pages = buffer_pages
+        self._node_cache = NodeCache(node_cache_pages, self.pagefile.stats)
+
+    @property
+    def node_cache(self) -> NodeCache:
+        """The decoded-node cache (hit/miss counters live here too)."""
+        return self._node_cache
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -97,24 +106,27 @@ class RTreeBase(ABC):
         """
         cached = self._node_cache.get(page_id)
         if cached is not None:
-            self._node_cache.move_to_end(page_id)
+            # A node-cache hit serves one logical read from memory, so it
+            # also counts as a buffer hit for the I/O accounting.
             self.pagefile.stats.record_hit()
             return cached
         page = self.buffer.read(page_id)
         node = self.codec.decode(page_id, page.payload)
-        self._cache_node(node)
+        self._node_cache.put(node)
         return node
 
     def write_node(self, node: Node) -> None:
-        """Encode and persist a node."""
-        self.buffer.write(Page(node.page_id, self.codec.encode(node)))
-        self._cache_node(node)
+        """Encode and persist a node.
 
-    def _cache_node(self, node: Node) -> None:
-        self._node_cache[node.page_id] = node
-        self._node_cache.move_to_end(node.page_id)
-        while len(self._node_cache) > self._node_cache_capacity:
-            self._node_cache.popitem(last=False)
+        The decoded-node cache is explicitly invalidated for the page and
+        then refreshed with the node object just written, so a stale
+        decode can never be served after a mutation; the node's packed
+        leaf arrays are dropped because its entries may have changed.
+        """
+        node.invalidate_arrays()
+        self.buffer.write(Page(node.page_id, self.codec.encode(node)))
+        self._node_cache.invalidate(node.page_id)
+        self._node_cache.put(node)
 
     def clear_cache(self) -> None:
         """Drop all cached pages and decoded nodes (cold-cache runs)."""
@@ -406,17 +418,22 @@ class RTreeBase(ABC):
     # ------------------------------------------------------------------
     # introspection / validation
     # ------------------------------------------------------------------
-    def iter_leaf_entries(self) -> Iterable:
-        """Full scan of all leaf entries (sequential reads)."""
+    def iter_leaves(self) -> Iterable[Node]:
+        """All leaf nodes, in the same order ``iter_leaf_entries`` uses."""
         if self.root_id is None:
             return
         stack = [self.root_id]
         while stack:
             node = self.read_node(stack.pop())
             if node.is_leaf:
-                yield from node.entries
+                yield node
             else:
                 stack.extend(e.child for e in node.entries)
+
+    def iter_leaf_entries(self) -> Iterable:
+        """Full scan of all leaf entries (sequential reads)."""
+        for node in self.iter_leaves():
+            yield from node.entries
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`IndexError_`.

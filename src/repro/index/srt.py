@@ -38,9 +38,10 @@ class SRTIndex(FeatureTree):
         vocab_size: int,
         pagefile: PageFile | None = None,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        node_cache_pages: int | None = None,
     ) -> None:
         self._kh = KeywordHilbert(max(1, vocab_size))
-        super().__init__(vocab_size, pagefile, buffer_pages)
+        super().__init__(vocab_size, pagefile, buffer_pages, node_cache_pages)
 
     def summary_bytes(self) -> int:
         # The exact keyword-union mask: one bit per vocabulary term.

@@ -1,6 +1,7 @@
 """Paged storage substrate: pages, page files, buffer pool, I/O stats."""
 
 from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from repro.storage.node_cache import NodeCache
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.pagefile import DiskPageFile, MemoryPageFile, PageFile
 from repro.storage.stats import DEFAULT_PAGE_READ_COST_S, IOStats
@@ -13,6 +14,7 @@ __all__ = [
     "DiskPageFile",
     "IOStats",
     "MemoryPageFile",
+    "NodeCache",
     "Page",
     "PageFile",
 ]

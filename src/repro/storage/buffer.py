@@ -8,6 +8,7 @@ counted separately from physical reads so benchmarks can report both.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import StorageError
@@ -18,7 +19,12 @@ DEFAULT_BUFFER_PAGES = 256
 
 
 class BufferPool:
-    """A fixed-capacity LRU cache of decoded pages."""
+    """A fixed-capacity LRU cache of decoded pages.
+
+    LRU bookkeeping is guarded by a lock so read-only index traversals can
+    share one pool across executor threads (see
+    :mod:`repro.core.executor`).
+    """
 
     def __init__(self, pagefile: PageFile, capacity: int = DEFAULT_BUFFER_PAGES) -> None:
         if capacity < 1:
@@ -26,6 +32,7 @@ class BufferPool:
         self.pagefile = pagefile
         self.capacity = capacity
         self._cache: OrderedDict[int, Page] = OrderedDict()
+        self._lock = threading.Lock()
 
     @property
     def stats(self):
@@ -34,11 +41,12 @@ class BufferPool:
 
     def read(self, page_id: int) -> Page:
         """Fetch a page, serving from cache when possible."""
-        cached = self._cache.get(page_id)
-        if cached is not None:
-            self._cache.move_to_end(page_id)
-            self.pagefile.stats.record_hit()
-            return cached
+        with self._lock:
+            cached = self._cache.get(page_id)
+            if cached is not None:
+                self._cache.move_to_end(page_id)
+                self.pagefile.stats.record_hit()
+                return cached
         page = self.pagefile.read(page_id)
         self._insert(page)
         return page
@@ -54,11 +62,13 @@ class BufferPool:
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache (e.g. after out-of-band mutation)."""
-        self._cache.pop(page_id, None)
+        with self._lock:
+            self._cache.pop(page_id, None)
 
     def clear(self) -> None:
         """Empty the cache; subsequent reads hit the page file."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -67,7 +77,8 @@ class BufferPool:
         return page_id in self._cache
 
     def _insert(self, page: Page) -> None:
-        self._cache[page.page_id] = page
-        self._cache.move_to_end(page.page_id)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[page.page_id] = page
+            self._cache.move_to_end(page.page_id)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)

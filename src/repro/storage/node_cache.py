@@ -1,0 +1,115 @@
+"""Decoded-node LRU cache — the layer above the page buffer.
+
+The storage hierarchy seen by an index is::
+
+    pagefile (simulated disk)  ->  BufferPool (raw pages)  ->  NodeCache
+
+Decoding a page into entry objects costs far more CPU than the buffer
+lookup itself (``struct`` unpacking plus one Python object per entry), so
+hot nodes are kept in *object* form here and the codec runs only on cache
+misses.  The cache is keyed by page id and must be explicitly invalidated
+whenever a page is rewritten (``RTreeBase.write_node`` does this and then
+re-caches the fresh node object, so readers never observe a stale decode).
+
+Hits and misses are recorded on the owning page file's :class:`IOStats`
+(as ``node_cache_hits`` / ``node_cache_misses``) so per-query accounting
+can surface them; a hit additionally counts as a buffer hit because it
+serves one logical read without touching the disk.
+
+A capacity of 0 disables the cache entirely: every ``get`` misses and
+``put`` is a no-op, which is the reference behaviour the parity tests
+compare against.  All operations take an internal lock so read-only
+traversals may share one tree across threads (see
+:mod:`repro.core.executor`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.index.nodes import Node
+    from repro.storage.stats import IOStats
+
+
+class NodeCache:
+    """Fixed-capacity LRU cache of decoded :class:`~repro.index.nodes.Node`s.
+
+    ``stats`` (optional) is the :class:`IOStats` of the page file backing
+    the tree; when present, hits and misses are recorded there.
+    """
+
+    def __init__(self, capacity: int, stats: "IOStats | None" = None) -> None:
+        if capacity < 0:
+            raise StorageError(
+                f"node cache capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self.stats = stats
+        self._cache: OrderedDict[int, "Node"] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> "Node | None":
+        """Cached node for ``page_id``, or None (recorded as a miss)."""
+        with self._lock:
+            node = self._cache.get(page_id)
+            if node is None:
+                self.misses += 1
+                if self.stats is not None:
+                    self.stats.record_node_cache_miss()
+                return None
+            self._cache.move_to_end(page_id)
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.record_node_cache_hit()
+            return node
+
+    def put(self, node: "Node") -> None:
+        """Insert/refresh a node, evicting LRU entries past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._cache[node.page_id] = node
+            self._cache.move_to_end(node.page_id)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop one page's decoded node (call before rewriting the page)."""
+        with self._lock:
+            self._cache.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the cache (cold-cache benchmark runs)."""
+        with self._lock:
+            self._cache.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (capacity and contents preserved)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._cache

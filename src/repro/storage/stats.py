@@ -25,6 +25,8 @@ class IOStats:
     reads: int = 0
     writes: int = 0
     buffer_hits: int = 0
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
     page_read_cost_s: float = field(default=DEFAULT_PAGE_READ_COST_S)
 
     def record_read(self) -> None:
@@ -38,6 +40,14 @@ class IOStats:
     def record_hit(self) -> None:
         """Count one buffer-pool hit (logical read served from memory)."""
         self.buffer_hits += 1
+
+    def record_node_cache_hit(self) -> None:
+        """Count one decoded-node cache hit (no page access, no decode)."""
+        self.node_cache_hits += 1
+
+    def record_node_cache_miss(self) -> None:
+        """Count one decoded-node cache miss (page fetched and decoded)."""
+        self.node_cache_misses += 1
 
     @property
     def logical_reads(self) -> int:
@@ -54,6 +64,8 @@ class IOStats:
         self.reads = 0
         self.writes = 0
         self.buffer_hits = 0
+        self.node_cache_hits = 0
+        self.node_cache_misses = 0
 
     def snapshot(self) -> "IOStats":
         """Copy of the current counters."""
@@ -61,6 +73,8 @@ class IOStats:
             reads=self.reads,
             writes=self.writes,
             buffer_hits=self.buffer_hits,
+            node_cache_hits=self.node_cache_hits,
+            node_cache_misses=self.node_cache_misses,
             page_read_cost_s=self.page_read_cost_s,
         )
 
@@ -70,5 +84,7 @@ class IOStats:
             reads=self.reads - earlier.reads,
             writes=self.writes - earlier.writes,
             buffer_hits=self.buffer_hits - earlier.buffer_hits,
+            node_cache_hits=self.node_cache_hits - earlier.node_cache_hits,
+            node_cache_misses=self.node_cache_misses - earlier.node_cache_misses,
             page_read_cost_s=self.page_read_cost_s,
         )

@@ -1,0 +1,188 @@
+"""Tests for the concurrent batch-query executor (repro.core.executor)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.executor import BatchReport, QueryExecutor
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError
+from tests.conftest import random_mask
+
+
+def make_queries(n: int, seed: int, variant: Variant = Variant.RANGE):
+    rng = random.Random(seed)
+    return [
+        PreferenceQuery(
+            k=rng.randint(2, 6),
+            radius=rng.uniform(0.05, 0.15),
+            lam=rng.choice([0.0, 0.5, 1.0]),
+            keyword_masks=(random_mask(rng), random_mask(rng)),
+            variant=variant,
+        )
+        for _ in range(n)
+    ]
+
+
+def assert_same_result(a, b):
+    assert a.oids == b.oids
+    assert a.scores == b.scores
+
+
+class TestQueryManyParity:
+    @pytest.mark.parametrize("algorithm", ["stps", "stds"])
+    def test_matches_serial_run(self, srt_processor, algorithm):
+        queries = make_queries(6, seed=81)
+        serial = [srt_processor.query(q, algorithm=algorithm) for q in queries]
+        with QueryExecutor(srt_processor, max_workers=4) as executor:
+            concurrent = executor.query_many(queries, algorithm=algorithm)
+        assert len(concurrent) == len(serial)
+        for a, b in zip(serial, concurrent):
+            assert_same_result(a, b)
+
+    def test_results_in_input_order(self, srt_processor):
+        queries = make_queries(8, seed=82)
+        with QueryExecutor(srt_processor, max_workers=3) as executor:
+            results = executor.query_many(queries)
+        for query, result in zip(queries, results):
+            assert_same_result(result, srt_processor.query(query))
+
+    @pytest.mark.parametrize(
+        "variant", [Variant.INFLUENCE, Variant.NEAREST]
+    )
+    def test_score_variants_supported(self, srt_processor, variant):
+        queries = make_queries(3, seed=83, variant=variant)
+        serial = [srt_processor.query(q) for q in queries]
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            concurrent = executor.query_many(queries)
+        for a, b in zip(serial, concurrent):
+            assert_same_result(a, b)
+
+    def test_repeated_query_identical(self, srt_processor):
+        query = make_queries(1, seed=84)[0]
+        expected = srt_processor.query(query)
+        with QueryExecutor(srt_processor, max_workers=4) as executor:
+            results = executor.query_many([query] * 8)
+        for result in results:
+            assert_same_result(result, expected)
+
+
+class TestBatchDedup:
+    def test_duplicates_share_one_execution(self, srt_processor):
+        queries = make_queries(3, seed=95)
+        workload = queries * 4  # every query duplicated 4x
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            results = executor.query_many(workload)
+        assert len(results) == len(workload)
+        # Duplicates share the very same result object...
+        for i, query in enumerate(workload):
+            first = workload.index(query)
+            assert results[i] is results[first]
+        # ...and every position matches its serial answer.
+        for query, result in zip(workload, results):
+            assert_same_result(result, srt_processor.query(query))
+
+    def test_dedup_off_executes_each_entry(self, srt_processor):
+        query = make_queries(1, seed=96)[0]
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            shared = executor.query_many([query] * 3)
+            separate = executor.query_many([query] * 3, dedup=False)
+        assert shared[0] is shared[1] is shared[2]
+        assert separate[0] is not separate[1]
+        for a, b in zip(shared, separate):
+            assert_same_result(a, b)
+
+    def test_dedup_reduces_measured_work(self, srt_processor):
+        queries = make_queries(2, seed=97)
+        workload = queries * 10
+        with QueryExecutor(srt_processor, max_workers=1) as executor:
+            executor.query_many(queries)  # warm caches identically
+            deduped = executor.run(workload, algorithm="stds")
+            full = executor.run(workload, algorithm="stds", dedup=False)
+        lookups_deduped = deduped.node_cache_hits + deduped.node_cache_misses
+        lookups_full = full.node_cache_hits + full.node_cache_misses
+        assert lookups_deduped < lookups_full
+        assert deduped.queries == full.queries == len(workload)
+
+
+class TestProcessorConvenience:
+    def test_query_many_wrapper(self, srt_processor):
+        queries = make_queries(4, seed=85)
+        serial = [srt_processor.query(q) for q in queries]
+        concurrent = srt_processor.query_many(queries, max_workers=3)
+        for a, b in zip(serial, concurrent):
+            assert_same_result(a, b)
+
+    def test_batch_size_does_not_change_results(self, srt_processor):
+        query = make_queries(1, seed=86)[0]
+        base = srt_processor.query(query, algorithm="stds")
+        for batch_size in (1, 3, 1000):
+            got = srt_processor.query(
+                query, algorithm="stds", batch_size=batch_size
+            )
+            assert_same_result(got, base)
+
+    def test_parallelism_does_not_change_results(self, srt_processor):
+        queries = make_queries(4, seed=87)
+        for query in queries:
+            serial = srt_processor.query(query, algorithm="stds")
+            threaded = srt_processor.query(
+                query, algorithm="stds", parallelism=4
+            )
+            assert_same_result(threaded, serial)
+
+    def test_invalid_knobs_rejected(self, srt_processor):
+        query = make_queries(1, seed=88)[0]
+        with pytest.raises(QueryError):
+            srt_processor.query(query, algorithm="stds", batch_size=0)
+        with pytest.raises(QueryError):
+            srt_processor.query(query, algorithm="stds", parallelism=0)
+
+
+class TestLifecycle:
+    def test_invalid_max_workers(self, srt_processor):
+        with pytest.raises(QueryError):
+            QueryExecutor(srt_processor, max_workers=0)
+
+    def test_closed_executor_rejects_work(self, srt_processor):
+        executor = QueryExecutor(srt_processor, max_workers=1)
+        executor.close()
+        with pytest.raises(QueryError):
+            executor.query_many(make_queries(1, seed=89))
+
+    def test_close_idempotent(self, srt_processor):
+        executor = QueryExecutor(srt_processor, max_workers=1)
+        executor.close()
+        executor.close()  # must not raise
+
+
+class TestBatchReport:
+    def test_run_accounting(self, srt_processor):
+        queries = make_queries(5, seed=90)
+        with QueryExecutor(srt_processor, max_workers=4) as executor:
+            report = executor.run(queries)
+        assert isinstance(report, BatchReport)
+        assert report.queries == 5
+        assert len(report.results) == 5
+        assert report.wall_s > 0
+        assert report.throughput_qps > 0
+        total = report.node_cache_hits + report.node_cache_misses
+        assert total > 0
+        assert 0.0 <= report.node_cache_hit_rate <= 1.0
+
+    def test_warm_cache_dominates_repeated_workload(self, srt_processor):
+        query = make_queries(1, seed=91)[0]
+        with QueryExecutor(srt_processor, max_workers=4) as executor:
+            executor.run([query])  # warm the decoded-node cache
+            report = executor.run([query] * 10)
+        assert report.node_cache_hit_rate > 0.9
+
+    def test_empty_batch(self, srt_processor):
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            report = executor.run([])
+        assert report.queries == 0
+        assert report.results == []
+        assert report.throughput_qps == 0.0
+        assert report.node_cache_hit_rate == 0.0

@@ -64,6 +64,87 @@ class TestNodeCacheCoherence:
         assert warm_result == cold_result
 
 
+class TestExplicitInvalidation:
+    def test_write_node_invalidates_stale_decode(self):
+        """A cached decode must never survive a page rewrite."""
+        tree = ObjectRTree.build(make_data_objects(120, seed=57))
+        # Find a leaf and warm the cache with it.
+        node = tree.read_node(tree.root_id)
+        while not node.is_leaf:
+            node = tree.read_node(node.entries[0].child)
+        assert node.page_id in tree.node_cache
+        stale = tree.read_node(node.page_id)
+        n_before = len(stale.entries)
+        # Rewrite the page with one entry removed.
+        node.entries = node.entries[:-1]
+        tree.write_node(node)
+        fresh = tree.read_node(node.page_id)
+        assert len(fresh.entries) == n_before - 1
+        # And a cold read (cache cleared) agrees with the cached view.
+        tree.clear_cache()
+        cold = tree.read_node(node.page_id)
+        assert [e.oid for e in cold.entries] == [e.oid for e in fresh.entries]
+
+    def test_insert_updates_visible_through_cache(self):
+        tree = ObjectRTree.build(make_data_objects(150, seed=58))
+        # Warm every node into the cache.
+        list(tree.iter_leaf_entries())
+        tree.insert(ObjectLeafEntry(7777, 0.25, 0.75))
+        assert 7777 in [e.oid for e in tree.range_search((0.25, 0.75), 1e-9)]
+        tree.validate()
+
+
+class TestCapacityZeroParity:
+    def test_disabled_cache_same_results(self):
+        objects = make_data_objects(400, seed=59)
+        cached = ObjectRTree.build(objects)
+        uncached = ObjectRTree.build(objects, node_cache_pages=0)
+        assert len(uncached._node_cache) == 0
+        got_cached = sorted(e.oid for e in cached.range_search((0.3, 0.7), 0.15))
+        got_uncached = sorted(
+            e.oid for e in uncached.range_search((0.3, 0.7), 0.15)
+        )
+        assert got_cached == got_uncached
+        # Every lookup missed; nothing was ever retained.
+        assert uncached.node_cache.hits == 0
+        assert len(uncached.node_cache) == 0
+
+    def test_query_parity_with_cache_disabled(self, objects, feature_sets):
+        from repro.core.processor import QueryProcessor
+        from repro.core.query import PreferenceQuery
+
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b111, 0b101)
+        )
+        warm = QueryProcessor.build(objects, feature_sets)
+        cold = QueryProcessor.build(objects, feature_sets)
+        cold.object_tree.node_cache.capacity = 0
+        for tree in cold.feature_trees:
+            tree.node_cache.capacity = 0
+        cold.clear_buffers()
+        for algorithm in ("stps", "stds"):
+            a = warm.query(query, algorithm=algorithm)
+            b = cold.query(query, algorithm=algorithm)
+            assert a.oids == b.oids
+            assert a.scores == b.scores
+
+
+class TestClearBuffers:
+    def test_clear_buffers_clears_both_layers(self, srt_processor):
+        from repro.core.query import PreferenceQuery
+
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b11, 0b11)
+        )
+        srt_processor.query(query)
+        trees = [srt_processor.object_tree] + srt_processor.feature_trees
+        assert any(len(t._node_cache) > 0 for t in trees)
+        assert any(len(t.buffer) > 0 for t in trees)
+        srt_processor.clear_buffers()
+        assert all(len(t._node_cache) == 0 for t in trees)
+        assert all(len(t.buffer) == 0 for t in trees)
+
+
 class TestAccountingInvariant:
     def test_logical_reads_consistent(self, srt_processor):
         from repro.core.query import PreferenceQuery
@@ -81,4 +162,24 @@ class TestAccountingInvariant:
         assert result.stats.io_time_s == pytest.approx(
             result.stats.io_reads
             * srt_processor.object_tree.stats.page_read_cost_s
+        )
+
+    def test_node_cache_counters_in_query_stats(self, srt_processor):
+        from repro.core.query import PreferenceQuery
+
+        srt_processor.clear_buffers()
+        srt_processor.reset_stats()
+        query = PreferenceQuery(
+            k=5, radius=0.1, lam=0.5, keyword_masks=(0b11, 0b11)
+        )
+        cold = srt_processor.query(query)
+        # The cold run decodes every node it touches at least once.
+        assert cold.stats.node_cache_misses > 0
+        warm = srt_processor.query(query)
+        # The warm run serves the hot upper levels from the node cache.
+        assert warm.stats.node_cache_hits > 0
+        assert warm.stats.node_cache_hit_rate > 0.5
+        assert (
+            warm.stats.node_cache_misses < cold.stats.node_cache_misses
+            or warm.stats.node_cache_misses == 0
         )

@@ -33,6 +33,11 @@ class TestExamples:
         assert "Matches the worked example" in out
         assert "1.6833" in out
 
+    def test_batch_queries(self):
+        out = run_example("batch_queries.py")
+        assert "node-cache hit rate" in out
+        assert "batch results match the serial run exactly" in out
+
     @pytest.mark.slow
     def test_tourist_trip_planner(self):
         out = run_example("tourist_trip_planner.py")

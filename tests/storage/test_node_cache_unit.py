@@ -1,0 +1,119 @@
+"""Unit tests for the decoded-node LRU cache (repro.storage.node_cache)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.index.nodes import Node, ObjectLeafEntry
+from repro.storage.node_cache import NodeCache
+from repro.storage.stats import IOStats
+
+
+def make_node(page_id: int) -> Node:
+    return Node(page_id, 0, [ObjectLeafEntry(page_id, 0.1, 0.2)])
+
+
+class TestBasics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            NodeCache(-1)
+
+    def test_get_miss_then_hit(self):
+        cache = NodeCache(4)
+        assert cache.get(1) is None
+        node = make_node(1)
+        cache.put(node)
+        assert cache.get(1) is node
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_invalidate_drops_entry(self):
+        cache = NodeCache(4)
+        cache.put(make_node(1))
+        cache.invalidate(1)
+        assert 1 not in cache
+        assert cache.get(1) is None
+
+    def test_invalidate_missing_is_noop(self):
+        cache = NodeCache(4)
+        cache.invalidate(42)  # must not raise
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = NodeCache(4)
+        cache.put(make_node(1))
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_reset_counters(self):
+        cache = NodeCache(4)
+        cache.get(1)
+        cache.put(make_node(1))
+        cache.get(1)
+        cache.reset_counters()
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert len(cache) == 1  # contents preserved
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = NodeCache(2)
+        cache.put(make_node(1))
+        cache.put(make_node(2))
+        cache.get(1)  # 2 is now LRU
+        cache.put(make_node(3))
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = NodeCache(3)
+        for i in range(20):
+            cache.put(make_node(i))
+        assert len(cache) == 3
+
+    def test_put_refreshes_recency(self):
+        cache = NodeCache(2)
+        cache.put(make_node(1))
+        cache.put(make_node(2))
+        cache.put(make_node(1))  # refresh 1; 2 becomes LRU
+        cache.put(make_node(3))
+        assert 1 in cache
+        assert 2 not in cache
+
+
+class TestDisabledCache:
+    def test_capacity_zero_disables(self):
+        cache = NodeCache(0)
+        cache.put(make_node(1))  # no-op
+        assert len(cache) == 0
+        assert cache.get(1) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+
+class TestStatsIntegration:
+    def test_records_into_iostats(self):
+        stats = IOStats()
+        cache = NodeCache(4, stats)
+        cache.get(1)
+        cache.put(make_node(1))
+        cache.get(1)
+        assert stats.node_cache_misses == 1
+        assert stats.node_cache_hits == 1
+
+    def test_iostats_reset_and_delta(self):
+        stats = IOStats()
+        cache = NodeCache(4, stats)
+        cache.get(1)
+        snap = stats.snapshot()
+        cache.put(make_node(1))
+        cache.get(1)
+        delta = stats.delta_since(snap)
+        assert delta.node_cache_hits == 1
+        assert delta.node_cache_misses == 0
+        stats.reset()
+        assert stats.node_cache_hits == 0
+        assert stats.node_cache_misses == 0

@@ -41,6 +41,7 @@ from repro.core.processor import QueryProcessor
 from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
 from repro.data.workload import WorkloadSpec, make_workload
 from repro.index import leafdata
+from repro.obs import tracing
 
 
 def build_processor(n_obj: int, n_feat: int, c: int, vocab: int, seed: int):
@@ -98,6 +99,27 @@ def run_optimized(processor, workload, algorithm: str, workers: int):
         leafdata.set_vectorized(previous)
 
 
+def traced_phase_times(processor, workload, algorithm: str) -> dict[str, float]:
+    """Per-phase wall seconds of one serial traced pass over the workload.
+
+    Runs off the clock (separately from the timed passes) with the span
+    tracer on, so the timed numbers never carry tracing overhead while
+    the report still shows where the time goes.
+    """
+    tracing.clear()
+    previous = tracing.set_enabled(True)
+    try:
+        totals: dict[str, float] = {}
+        for query in workload:
+            result = processor.query(query, algorithm=algorithm)
+            for phase, seconds in result.stats.phase_times.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return {phase: round(s, 4) for phase, s in sorted(totals.items())}
+    finally:
+        tracing.set_enabled(previous)
+        tracing.clear()
+
+
 def bench(args) -> dict:
     processor, feature_sets = build_processor(
         args.objects, args.features, args.sets, args.vocab, args.seed
@@ -116,8 +138,13 @@ def bench(args) -> dict:
         cold_s = run_baseline_cold(processor, workload, algorithm)
         warm_s = run_baseline_warm(processor, workload, algorithm)
         report = run_optimized(processor, workload, algorithm, args.workers)
+        phase_times = traced_phase_times(
+            processor, queries, algorithm
+        )  # distinct queries only; off the clock
         speedup = cold_s / report.wall_s if report.wall_s > 0 else 0.0
         speedup_warm = warm_s / report.wall_s if report.wall_s > 0 else 0.0
+        latency = report.latency_percentiles()
+        queue_wait = report.queue_wait_percentiles()
         results.append(
             {
                 "algorithm": algorithm,
@@ -129,6 +156,14 @@ def bench(args) -> dict:
                 "speedup_warm": round(speedup_warm, 2),
                 "throughput_qps": round(report.throughput_qps, 1),
                 "node_cache_hit_rate": round(report.node_cache_hit_rate, 4),
+                # Schema-additive observability fields (see repro.obs):
+                "latency_p50_s": round(latency["p50"], 6),
+                "latency_p95_s": round(latency["p95"], 6),
+                "latency_p99_s": round(latency["p99"], 6),
+                "queue_wait_p50_s": round(queue_wait["p50"], 6),
+                "queue_wait_p95_s": round(queue_wait["p95"], 6),
+                "queue_wait_p99_s": round(queue_wait["p99"], 6),
+                "phase_times_s": phase_times,
             }
         )
 
@@ -189,6 +224,14 @@ def main(argv=None) -> int:
             f"{row['throughput_qps']:.0f} q/s, "
             f"node-cache hit rate {row['node_cache_hit_rate']:.0%})"
         )
+        print(
+            f"        latency p50 {row['latency_p50_s'] * 1e3:.2f}ms / "
+            f"p95 {row['latency_p95_s'] * 1e3:.2f}ms / "
+            f"p99 {row['latency_p99_s'] * 1e3:.2f}ms  "
+            f"queue wait p95 {row['queue_wait_p95_s'] * 1e3:.2f}ms"
+        )
+        for phase, seconds in row["phase_times_s"].items():
+            print(f"        {phase:<32} {seconds:.3f}s")
     return 0
 
 

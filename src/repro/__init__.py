@@ -13,6 +13,8 @@ Public API highlights:
   and figure of the paper's evaluation.
 """
 
+import logging as _logging
+
 from repro.core.processor import QueryProcessor
 from repro.core.query import PreferenceQuery, Variant
 from repro.core.results import QueryResult, QueryStats, ResultItem
@@ -25,6 +27,9 @@ from repro.model.objects import DataObject, FeatureObject
 from repro.text.vocabulary import Vocabulary
 
 __version__ = "1.0.0"
+
+# Library-style logging: quiet unless the application configures handlers.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "DataObject",

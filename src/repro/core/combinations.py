@@ -37,6 +37,7 @@ from repro.core.query import PreferenceQuery
 from repro.core.stream import FeatureStream, StreamedFeature
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
+from repro.obs import tracing as _tracing
 
 _EPS = 1e-12
 
@@ -72,6 +73,7 @@ class CombinationIterator:
         query: PreferenceQuery,
         enforce_2r: bool = True,
         pulling: str = PULL_PRIORITIZED,
+        recorder=None,
     ) -> None:
         if len(feature_trees) != query.c:
             raise QueryError(
@@ -83,6 +85,12 @@ class CombinationIterator:
         self.query = query
         self.enforce_2r = enforce_2r
         self.pulling = pulling
+        # Phase recorder (repro.obs.tracing): times the feature pulls,
+        # threshold updates and combination assembly separately so a
+        # query's `phase_times` mirrors the anatomy of Algorithm 4.
+        self.recorder = (
+            recorder if recorder is not None else _tracing.NULL_RECORDER
+        )
         self.c = query.c
         self.streams = [
             FeatureStream(tree, mask, query.lam)
@@ -104,7 +112,8 @@ class CombinationIterator:
         # Seed: one pull per set guarantees every list is non-empty (a
         # stream always yields at least the virtual feature).
         for i in range(self.c):
-            self._pull(i)
+            with self.recorder.span("stps.feature_pull", feature_set=i):
+                self._pull(i)
         self._submit(tuple([0] * self.c))
 
     # ------------------------------------------------------------------
@@ -112,13 +121,17 @@ class CombinationIterator:
     # ------------------------------------------------------------------
     def next(self) -> Combination | None:
         """Next combination by descending score, or None when done."""
+        rec = self.recorder
         while True:
-            threshold = self._threshold()
+            with rec.span("stps.threshold_update"):
+                threshold = self._threshold()
             if self._heap and -self._heap[0][0] >= threshold - _EPS:
-                _, _, idx = heapq.heappop(self._heap)
-                self._expand(idx)
-                combo = self._materialize(idx)
-                if self._valid(combo):
+                with rec.span("stps.combination_assembly"):
+                    _, _, idx = heapq.heappop(self._heap)
+                    self._expand(idx)
+                    combo = self._materialize(idx)
+                    valid = self._valid(combo)
+                if valid:
                     self.combinations_released += 1
                     return combo
                 continue
@@ -127,7 +140,8 @@ class CombinationIterator:
                 if self._heap:
                     continue  # threshold is -inf now; drain the heap
                 return None
-            self._pull(pull_from)
+            with rec.span("stps.feature_pull", feature_set=pull_from):
+                self._pull(pull_from)
 
     @property
     def features_pulled(self) -> int:

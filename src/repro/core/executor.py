@@ -36,6 +36,8 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
+import math
 import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -46,13 +48,45 @@ from repro.core.query import PreferenceQuery
 from repro.core.results import QueryResult
 from repro.core.stds import DEFAULT_BATCH_SIZE
 from repro.errors import QueryError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_MAX_WORKERS = 4
+
+#: Time a query spends in the executor queue before a worker picks it up.
+QUEUE_WAIT_SECONDS = _metrics.registry().histogram(
+    "repro_executor_queue_wait_seconds",
+    "Time between submission and execution start.",
+    ("algorithm",),
+)
+#: Whole-batch wall time per ``QueryExecutor.run`` call.
+BATCH_SECONDS = _metrics.registry().histogram(
+    "repro_executor_batch_seconds",
+    "Wall time of one batch run.",
+    ("algorithm",),
+)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
 @dataclass(slots=True)
 class BatchReport:
-    """Results of a batch run plus workload-level cost accounting."""
+    """Results of a batch run plus workload-level cost accounting.
+
+    ``latencies_s`` / ``queue_waits_s`` hold one sample per *executed*
+    query (deduplicated batches execute each distinct query once):
+    execution wall time and time spent waiting in the pool queue before
+    a worker picked the query up.  The ``latency_p*`` / ``queue_wait_p*``
+    properties are nearest-rank percentiles over those samples.
+    """
 
     results: list[QueryResult] = field(default_factory=list)
     wall_s: float = 0.0
@@ -61,6 +95,8 @@ class BatchReport:
     node_cache_misses: int = 0
     io_reads: int = 0
     buffer_hits: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    queue_waits_s: list[float] = field(default_factory=list)
 
     @property
     def throughput_qps(self) -> float:
@@ -72,6 +108,64 @@ class BatchReport:
         """Decoded-node cache hits / lookups across the whole batch."""
         total = self.node_cache_hits + self.node_cache_misses
         return self.node_cache_hits / total if total else 0.0
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """{"p50": ..., "p95": ..., "p99": ...} of per-query latency."""
+        ordered = sorted(self.latencies_s)
+        return {
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+        }
+
+    def queue_wait_percentiles(self) -> dict[str, float]:
+        """{"p50": ..., "p95": ..., "p99": ...} of queue wait."""
+        ordered = sorted(self.queue_waits_s)
+        return {
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+        }
+
+    @property
+    def latency_p50_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def latency_p95_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.95)
+
+    @property
+    def latency_p99_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.99)
+
+    @property
+    def queue_wait_p50_s(self) -> float:
+        return _percentile(sorted(self.queue_waits_s), 0.50)
+
+    @property
+    def queue_wait_p95_s(self) -> float:
+        return _percentile(sorted(self.queue_waits_s), 0.95)
+
+    @property
+    def queue_wait_p99_s(self) -> float:
+        return _percentile(sorted(self.queue_waits_s), 0.99)
+
+    def aggregate_phase_times(self) -> dict[str, float]:
+        """Per-phase wall seconds summed over the batch's distinct results.
+
+        Empty unless tracing was enabled during the run (see
+        :mod:`repro.obs.tracing`).
+        """
+        totals: dict[str, float] = {}
+        seen: set[int] = set()
+        for result in self.results:
+            if id(result) in seen:  # dedup'd batches share result objects
+                continue
+            seen.add(id(result))
+            for phase, seconds in result.stats.phase_times.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
 
 class QueryExecutor:
@@ -113,6 +207,7 @@ class QueryExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
         dedup: bool = True,
+        _timings: list[tuple[float, float]] | None = None,
     ) -> list[QueryResult]:
         """Execute many queries concurrently; results in input order.
 
@@ -128,6 +223,10 @@ class QueryExecutor:
         serial run; only the attributed per-query stats collapse onto the
         shared object.  Pass ``dedup=False`` to force one execution per
         entry (e.g. when measuring per-query costs).
+
+        ``_timings`` (internal, used by :meth:`run`) collects one
+        ``(queue_wait_s, latency_s)`` sample per executed query;
+        ``list.append`` is atomic, so workers share the list freely.
         """
         if self._closed:
             raise QueryError("executor is closed")
@@ -139,15 +238,26 @@ class QueryExecutor:
             to_run: Sequence[PreferenceQuery] = list(distinct)
         else:
             to_run = queries
-        futures = [
-            self._pool.submit(
-                self.processor.query,
+
+        queue_wait_metric = QUEUE_WAIT_SECONDS.labels(algorithm=algorithm)
+
+        def run_one(query: PreferenceQuery, submitted: float) -> QueryResult:
+            started = time.perf_counter()
+            result = self.processor.query(
                 query,
                 algorithm=algorithm,
                 pulling=pulling,
                 batch_size=batch_size,
                 parallelism=parallelism,
             )
+            finished = time.perf_counter()
+            queue_wait_metric.observe(started - submitted)
+            if _timings is not None:
+                _timings.append((started - submitted, finished - started))
+            return result
+
+        futures = [
+            self._pool.submit(run_one, query, time.perf_counter())
             for query in to_run
         ]
         results = [f.result() for f in futures]
@@ -173,6 +283,7 @@ class QueryExecutor:
         """
         trees = [self.processor.object_tree] + list(self.processor.feature_trees)
         before = [t.pagefile.stats.snapshot() for t in trees]
+        timings: list[tuple[float, float]] = []
         t0 = time.perf_counter()
         results = self.query_many(
             queries,
@@ -181,11 +292,16 @@ class QueryExecutor:
             batch_size=batch_size,
             parallelism=parallelism,
             dedup=dedup,
+            _timings=timings,
         )
+        wall_s = time.perf_counter() - t0
+        BATCH_SECONDS.labels(algorithm=algorithm).observe(wall_s)
         report = BatchReport(
             results=results,
-            wall_s=time.perf_counter() - t0,
+            wall_s=wall_s,
             queries=len(results),
+            queue_waits_s=[w for w, _ in timings],
+            latencies_s=[lat for _, lat in timings],
         )
         for tree, snap in zip(trees, before):
             delta = tree.pagefile.stats.delta_since(snap)

@@ -29,9 +29,11 @@ from repro.core.combinations import (
 from repro.core.query import PreferenceQuery, Variant
 from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
 from repro.errors import QueryError
+from repro.core.stps import record_features_pulled
 from repro.geometry.rect import Rect
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import tracing as _tracing
 
 
 def stps_influence(
@@ -47,8 +49,9 @@ def stps_influence(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
+    rec = _tracing.recorder()
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=False, pulling=pulling
+        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec
     )
     best: dict[int, tuple[float, float, float]] = {}  # oid -> (score, x, y)
     k = query.k
@@ -87,9 +90,13 @@ def stps_influence(
             (f.x, f.y, f.score) for f in combo.features if not f.is_virtual
         ]
         updated = False
-        for score, entry in _influence_top_k_members(
-            object_tree, members, query, threshold
-        ):
+        with rec.span("stps.get_data_objects"):
+            retrieved = list(
+                _influence_top_k_members(
+                    object_tree, members, query, threshold
+                )
+            )
+        for score, entry in retrieved:
             current = best.get(entry.oid)
             if current is None or score > current[0]:
                 best[entry.oid] = (score, entry.x, entry.y)
@@ -113,6 +120,8 @@ def stps_influence(
     stats.combinations = iterator.combinations_released
     stats.features_pulled = iterator.features_pulled
     stats.objects_scored = len(best)
+    stats.phase_times = rec.totals()
+    record_features_pulled("stps_influence", iterator.streams)
     candidates = [
         (score, oid, x, y) for oid, (score, x, y) in best.items()
     ]

@@ -40,6 +40,7 @@ from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.nodes import FeatureLeafEntry, ObjectLeafEntry
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import tracing as _tracing
 
 
 def influence_search(
@@ -77,10 +78,12 @@ def influence_search(
     # their parent's bound (free) and are re-pushed with their own bound
     # only when they reach the top, so exact per-point evaluations happen
     # only for actual top-k contenders.
+    rec = _tracing.recorder()
     collected: list[tuple[float, int, float, float]] = []
     if object_tree.root_id is not None and object_tree.count > 0:
         heap: list[tuple[float, int, bool, object]] = []
         counter = 0
+        rec_active = rec.active
         root_bound = sum(
             (1.0 - query.lam) + query.lam for _ in feature_trees
         )  # trivially >= c; refined on first pop
@@ -90,27 +93,41 @@ def influence_search(
             counter += 1
             heapq.heappush(heap, (-bound, counter, refined, entry))
 
-        for e in object_tree.root_node().entries:
-            push(e, root_bound, False)
-        while heap and len(collected) < query.k:
-            neg_bound, _, refined, entry = heapq.heappop(heap)
-            is_point = isinstance(entry, ObjectLeafEntry)
-            if not refined:
-                bound = entry_bound(
-                    (entry.x, entry.y) if is_point else entry.rect, is_point
-                )
+        with rec.span("iss.search"):
+            for e in object_tree.root_node().entries:
+                push(e, root_bound, False)
+            while heap and len(collected) < query.k:
+                neg_bound, _, refined, entry = heapq.heappop(heap)
+                is_point = isinstance(entry, ObjectLeafEntry)
+                if not refined:
+                    if rec_active:
+                        with rec.span("iss.bound_probe", point=is_point):
+                            bound = entry_bound(
+                                (entry.x, entry.y) if is_point else entry.rect,
+                                is_point,
+                            )
+                    else:
+                        bound = entry_bound(
+                            (entry.x, entry.y) if is_point else entry.rect,
+                            is_point,
+                        )
+                    if is_point:
+                        stats.objects_scored += 1
+                    push(entry, bound, True)
+                    continue
                 if is_point:
-                    stats.objects_scored += 1
-                push(entry, bound, True)
-                continue
-            if is_point:
-                # Refined point priorities are exact scores, so pops are
-                # in final rank order.
-                collected.append((-neg_bound, entry.oid, entry.x, entry.y))
-            else:
-                for child_entry in object_tree.read_node(entry.child).entries:
-                    push(child_entry, -neg_bound, False)
+                    # Refined point priorities are exact scores, so pops
+                    # are in final rank order.
+                    collected.append(
+                        (-neg_bound, entry.oid, entry.x, entry.y)
+                    )
+                else:
+                    for child_entry in object_tree.read_node(
+                        entry.child
+                    ).entries:
+                        push(child_entry, -neg_bound, False)
 
+    stats.phase_times = rec.totals()
     result = QueryResult(rank_items(collected, query.k), stats)
     tracker.finish(stats)
     return result

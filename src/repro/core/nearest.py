@@ -27,9 +27,11 @@ from repro.core.query import PreferenceQuery, Variant
 from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
 from repro.core.voronoi import DATA_SPACE, clip_voronoi_cell
 from repro.errors import QueryError
+from repro.core.stps import record_features_pulled
 from repro.geometry.polygon import ConvexPolygon
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import tracing as _tracing
 
 
 def stps_nearest(
@@ -45,8 +47,9 @@ def stps_nearest(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
+    rec = _tracing.recorder()
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=False, pulling=pulling
+        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec
     )
     scorers = [
         tree.make_scorer(mask, query.lam)
@@ -78,6 +81,8 @@ def stps_nearest(
         # the precomputation the paper suggests for static data.
         vor_snapshot = tracker.io_snapshot()
         vor_t0 = time.perf_counter()
+        vor_span = rec.span("stps.voronoi_cells")
+        vor_span.__enter__()
         region = unit_region
         for i, feature in enumerate(combo.features):
             if feature.is_virtual:
@@ -95,6 +100,7 @@ def stps_nearest(
             region = region.intersection(cell)
             if region.is_empty:
                 break
+        vor_span.__exit__(None, None, None)
         stats.voronoi_cpu_s += time.perf_counter() - vor_t0
         vor_reads, vor_io_time = tracker.io_since(vor_snapshot)
         stats.voronoi_io_reads += vor_reads
@@ -102,10 +108,12 @@ def stps_nearest(
         if region.is_empty:
             continue
 
-        batch = sorted(
-            (e for e in object_tree.in_polygon(region) if e.oid not in seen),
-            key=lambda e: e.oid,
-        )
+        with rec.span("stps.get_data_objects"):
+            batch = sorted(
+                (e for e in object_tree.in_polygon(region)
+                 if e.oid not in seen),
+                key=lambda e: e.oid,
+            )
         for e in batch:
             seen.add(e.oid)
             collected.append((combo.score, e.oid, e.x, e.y))
@@ -113,6 +121,8 @@ def stps_nearest(
     stats.combinations = iterator.combinations_released
     stats.features_pulled = iterator.features_pulled
     stats.objects_scored = len(collected)
+    stats.phase_times = rec.totals()
+    record_features_pulled("stps_nearest", iterator.streams)
     result = QueryResult(rank_items(collected, query.k), stats)
     tracker.finish(stats)
     return result

@@ -18,6 +18,8 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
+import time
 from collections.abc import Sequence
 
 from repro.core.combinations import PULL_PRIORITIZED
@@ -34,12 +36,37 @@ from repro.index.irtree import IRTree
 from repro.index.object_rtree import ObjectRTree
 from repro.index.srt import SRTIndex
 from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+logger = logging.getLogger(__name__)
 
 ALGORITHM_STPS = "stps"
 ALGORITHM_STDS = "stds"
 ALGORITHM_ISS = "iss"
 
 INDEX_CLASSES = {"srt": SRTIndex, "ir2": IR2Tree, "irtree": IRTree}
+
+_QUERY_LABELS = ("algorithm", "variant", "pulling")
+#: Query latency histogram (log buckets) — one series per
+#: algorithm/variant/pulling combination.  Always on: one observe per
+#: query, independent of the tracing flag.
+QUERY_SECONDS = _metrics.registry().histogram(
+    "repro_query_seconds", "End-to-end query latency.", _QUERY_LABELS
+)
+QUERIES_TOTAL = _metrics.registry().counter(
+    "repro_queries_total", "Queries executed.", _QUERY_LABELS
+)
+COMBINATIONS_TOTAL = _metrics.registry().counter(
+    "repro_combinations_total",
+    "Valid combinations released (Algorithm 4).",
+    _QUERY_LABELS,
+)
+OBJECTS_SCORED_TOTAL = _metrics.registry().counter(
+    "repro_objects_scored_total",
+    "Data objects scored or retrieved.",
+    _QUERY_LABELS,
+)
 
 
 class QueryProcessor:
@@ -115,7 +142,49 @@ class QueryProcessor:
         of the batched Algorithm 2 and the number of threads scoring a
         chunk against the feature sets concurrently); they are ignored by
         the other algorithms.  Results never depend on either knob.
+
+        Every call observes the latency histogram
+        ``repro_query_seconds{algorithm,variant,pulling}`` in the default
+        metrics registry and, when tracing is on (see
+        :mod:`repro.obs.tracing`), wraps the execution in a
+        ``query.<algorithm>`` span; ``result.stats.phase_times`` then
+        carries the per-phase breakdown.
         """
+        t0 = time.perf_counter()
+        with _tracing.span(
+            f"query.{algorithm}",
+            variant=query.variant.value,
+            k=query.k,
+            c=query.c,
+        ):
+            result = self._dispatch(
+                query, algorithm, pulling, batch_size, parallelism
+            )
+        elapsed = time.perf_counter() - t0
+        labels = {
+            "algorithm": algorithm,
+            "variant": query.variant.value,
+            "pulling": pulling,
+        }
+        QUERY_SECONDS.labels(**labels).observe(elapsed)
+        QUERIES_TOTAL.labels(**labels).inc()
+        if result.stats.combinations:
+            COMBINATIONS_TOTAL.labels(**labels).inc(result.stats.combinations)
+        if result.stats.objects_scored:
+            OBJECTS_SCORED_TOTAL.labels(**labels).inc(
+                result.stats.objects_scored
+            )
+        return result
+
+    def _dispatch(
+        self,
+        query: PreferenceQuery,
+        algorithm: str,
+        pulling: str,
+        batch_size: int,
+        parallelism: int | None,
+    ) -> QueryResult:
+        """Route to the algorithm/variant implementation (uninstrumented)."""
         if algorithm == ALGORITHM_STDS:
             return stds(
                 self.object_tree,
@@ -189,14 +258,35 @@ class QueryProcessor:
 
         return stps_stream(self.object_tree, self.feature_trees, query, pulling)
 
-    def clear_buffers(self) -> None:
-        """Drop all cached pages and decoded nodes (cold-cache runs)."""
-        self.object_tree.clear_cache()
-        for tree in self.feature_trees:
-            tree.clear_cache()
+    def clear_buffers(self) -> dict[str, int]:
+        """Drop all cached pages and decoded nodes (cold-cache runs).
 
-    def reset_stats(self) -> None:
-        """Zero the I/O counters of every index."""
-        self.object_tree.stats.reset()
-        for tree in self.feature_trees:
+        Returns what was dropped: ``{"pages": ..., "nodes": ...}`` summed
+        over the object tree and every feature tree.
+        """
+        dropped = {"pages": 0, "nodes": 0}
+        for tree in (self.object_tree, *self.feature_trees):
+            tree_dropped = tree.clear_cache()
+            dropped["pages"] += tree_dropped["pages"]
+            dropped["nodes"] += tree_dropped["nodes"]
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "clear_buffers dropped %d pages, %d decoded nodes",
+                dropped["pages"], dropped["nodes"],
+            )
+        return dropped
+
+    def reset_stats(self, metrics: bool = True) -> None:
+        """Zero every per-index counter so the next run starts cold.
+
+        Resets the page-file I/O counters *and* the decoded-node-cache
+        hit/miss counters of every tree (the latter were previously left
+        behind, so "cold" runs started with stale hit rates).  With
+        ``metrics`` (default), the process-wide metrics registry is also
+        zeroed — registrations survive, series go to zero.
+        """
+        for tree in (self.object_tree, *self.feature_trees):
             tree.stats.reset()
+            tree.node_cache.reset_counters()
+        if metrics:
+            _metrics.registry().reset()

@@ -43,6 +43,10 @@ class QueryStats:
     voronoi_io_reads: int = 0
     voronoi_cpu_s: float = 0.0
     voronoi_io_time_s: float = 0.0
+    #: Per-phase wall seconds (span name -> total), populated when
+    #: tracing is enabled (see :mod:`repro.obs.tracing`); empty otherwise.
+    #: Phase names follow the span taxonomy of DESIGN.md §9.
+    phase_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def cpu_time_s(self) -> float:

@@ -34,6 +34,7 @@ Performance notes (not part of the paper's algorithms):
 from __future__ import annotations
 
 import heapq
+import logging
 import math
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -51,6 +52,9 @@ from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.nodes import FeatureLeafEntry
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import tracing as _tracing
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_BATCH_SIZE = 1024
 
@@ -371,8 +375,10 @@ def stds(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
+    rec = _tracing.recorder()
 
-    objects = _scan_objects(object_tree)
+    with rec.span("stds.scan_objects"):
+        objects = _scan_objects(object_tree)
     stats.objects_scored = len(objects)
 
     if query.variant is Variant.RANGE:
@@ -380,15 +386,18 @@ def stds(
         if workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 candidates = _stds_range_batched(
-                    feature_trees, query, objects, batch_size, stats, pool
+                    feature_trees, query, objects, batch_size, stats, pool,
+                    rec=rec,
                 )
         else:
             candidates = _stds_range_batched(
-                feature_trees, query, objects, batch_size, stats
+                feature_trees, query, objects, batch_size, stats, rec=rec
             )
     else:
-        candidates = _stds_per_object(feature_trees, query, objects, stats)
+        with rec.span("stds.score_objects"):
+            candidates = _stds_per_object(feature_trees, query, objects, stats)
 
+    stats.phase_times = rec.totals()
     result = QueryResult(rank_items(candidates, query.k), stats)
     tracker.finish(stats)
     return result
@@ -426,14 +435,17 @@ def _stds_range_batched(
     batch_size: int,
     stats: QueryStats | None = None,
     pool: ThreadPoolExecutor | None = None,
+    rec=_tracing.NULL_RECORDER,
 ) -> list[tuple[float, int, float, float]]:
     top: list[tuple[float, int]] = []  # min-heap by score
     threshold = -math.inf
     candidates: list[tuple[float, int, float, float]] = []
     c = query.c
+    debug = logger.isEnabledFor(logging.DEBUG)
 
     for start in range(0, len(objects), batch_size):
         chunk = objects[start : start + batch_size]
+        chunk_id = start // batch_size
         pending = {oid: (x, y) for oid, x, y in chunk}
         precomputed: list[dict[int, float]] | None = None
         if pool is not None and c > 1:
@@ -441,15 +453,20 @@ def _stds_range_batched(
             # then replay the serial threshold fold below over the
             # precomputed values — the fold sees exactly the numbers the
             # serial path would have computed.
+            def _scored(i, tree, pending=pending):
+                with rec.span(
+                    "stds.chunk_scan", feature_set=i, chunk=chunk_id
+                ):
+                    return compute_scores_batch(
+                        tree,
+                        query,
+                        query.keyword_masks[i],
+                        pending,
+                        stats,
+                    )
+
             futures = [
-                pool.submit(
-                    compute_scores_batch,
-                    tree,
-                    query,
-                    query.keyword_masks[i],
-                    pending,
-                    stats,
-                )
+                pool.submit(_scored, i, tree)
                 for i, tree in enumerate(feature_trees)
             ]
             precomputed = [f.result() for f in futures]
@@ -461,16 +478,19 @@ def _stds_range_batched(
             if precomputed is not None:
                 scores = precomputed[i]
             else:
-                scores = compute_scores_batch(
-                    tree,
-                    query,
-                    query.keyword_masks[i],
-                    pending,
-                    stats,
-                    partial=partial,
-                    threshold=threshold,
-                    remaining_sets=remaining_sets,
-                )
+                with rec.span(
+                    "stds.chunk_scan", feature_set=i, chunk=chunk_id
+                ):
+                    scores = compute_scores_batch(
+                        tree,
+                        query,
+                        query.keyword_masks[i],
+                        pending,
+                        stats,
+                        partial=partial,
+                        threshold=threshold,
+                        remaining_sets=remaining_sets,
+                    )
             if remaining_sets == 0:
                 # Last feature set: no survivor set to build.
                 for oid in pending:
@@ -484,15 +504,21 @@ def _stds_range_batched(
                 if total + remaining_sets > threshold:
                     survivors[oid] = loc
             pending = survivors
-        for oid, x, y in chunk:
-            score = partial[oid]
-            candidates.append((score, oid, x, y))
-            if len(top) < query.k:
-                heapq.heappush(top, (score, -oid))
-            elif score > top[0][0]:
-                heapq.heapreplace(top, (score, -oid))
-            if len(top) == query.k:
-                threshold = top[0][0]
+        with rec.span("stds.threshold_fold", chunk=chunk_id):
+            for oid, x, y in chunk:
+                score = partial[oid]
+                candidates.append((score, oid, x, y))
+                if len(top) < query.k:
+                    heapq.heappush(top, (score, -oid))
+                elif score > top[0][0]:
+                    heapq.heapreplace(top, (score, -oid))
+                if len(top) == query.k:
+                    threshold = top[0][0]
+        if debug:
+            logger.debug(
+                "stds chunk %d: %d objects, threshold now %.6f",
+                chunk_id, len(chunk), threshold,
+            )
     return _prune_candidates(candidates, top, query.k)
 
 

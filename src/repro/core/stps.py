@@ -20,6 +20,25 @@ from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+#: Feature objects pulled from the per-set sorted streams (the paper's
+#: "features pulled" cost metric, Section 8.1), labeled by feature set.
+FEATURES_PULLED = _metrics.registry().counter(
+    "repro_features_pulled_total",
+    "Feature objects pulled from the sorted streams.",
+    ("algorithm", "feature_set"),
+)
+
+
+def record_features_pulled(algorithm: str, streams) -> None:
+    """Fold per-stream pull counts into :data:`FEATURES_PULLED`."""
+    for i, stream in enumerate(streams):
+        if stream.pulled:
+            FEATURES_PULLED.labels(
+                algorithm=algorithm, feature_set=str(i)
+            ).inc(stream.pulled)
 
 
 def stps(
@@ -38,8 +57,9 @@ def stps(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
+    rec = _tracing.recorder()
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=True, pulling=pulling
+        feature_trees, query, enforce_2r=True, pulling=pulling, recorder=rec
     )
     seen: set[int] = set()
     collected: list[tuple[float, int, float, float]] = []
@@ -51,20 +71,22 @@ def stps(
         if combo.is_all_virtual:
             # Score-0 tail: any remaining object qualifies; take the
             # lowest ids for deterministic tie-breaking.
-            remaining = sorted(
-                (e.oid, e.x, e.y)
-                for e in object_tree.all_entries()
-                if e.oid not in seen
-            )
+            with rec.span("stps.get_data_objects", tail=True):
+                remaining = sorted(
+                    (e.oid, e.x, e.y)
+                    for e in object_tree.all_entries()
+                    if e.oid not in seen
+                )
             for oid, x, y in remaining[: query.k - len(collected)]:
                 seen.add(oid)
                 collected.append((0.0, oid, x, y))
             break
-        batch = sorted(
-            (e for e in object_tree.within_all(combo.anchors, query.radius)
-             if e.oid not in seen),
-            key=lambda e: e.oid,
-        )
+        with rec.span("stps.get_data_objects"):
+            batch = sorted(
+                (e for e in object_tree.within_all(combo.anchors, query.radius)
+                 if e.oid not in seen),
+                key=lambda e: e.oid,
+            )
         for e in batch:
             seen.add(e.oid)
             collected.append((combo.score, e.oid, e.x, e.y))
@@ -72,6 +94,8 @@ def stps(
     stats.combinations = iterator.combinations_released
     stats.features_pulled = iterator.features_pulled
     stats.objects_scored = len(collected)
+    stats.phase_times = rec.totals()
+    record_features_pulled("stps", iterator.streams)
     result = QueryResult(rank_items(collected, query.k), stats)
     tracker.finish(stats)
     return result

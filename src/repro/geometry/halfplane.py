@@ -37,8 +37,16 @@ class HalfPlane:
         return self.a * point[0] + self.b * point[1] - self.c
 
     def contains(self, point: Sequence[float]) -> bool:
-        """True when ``point`` satisfies ``a*x + b*y <= c`` (within EPS)."""
-        return self.value(point) <= EPS
+        """True when ``point`` satisfies ``a*x + b*y <= c`` (within EPS).
+
+        The tolerance is scale-invariant: the raw value is compared
+        against ``EPS * ||(a, b)||`` so the slack is EPS *in Euclidean
+        distance to the boundary line* regardless of how the coefficients
+        are scaled.  (An absolute epsilon on the raw value would grant
+        bisectors of nearly-coincident sites — tiny normal vectors — a
+        geometric slack far larger than EPS.)
+        """
+        return self.value(point) <= EPS * math.hypot(self.a, self.b)
 
     def distance_to_boundary(self, point: Sequence[float]) -> float:
         """Euclidean distance from ``point`` to the bounding line."""

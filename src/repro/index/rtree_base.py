@@ -23,10 +23,12 @@ and the bulk-load sort key.
 from __future__ import annotations
 
 import json
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 
 from repro.errors import IndexError_
+from repro.obs import tracing as _tracing
 from repro.geometry.rect import Rect
 from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from repro.storage.node_cache import NodeCache
@@ -110,8 +112,27 @@ class RTreeBase(ABC):
             # also counts as a buffer hit for the I/O accounting.
             self.pagefile.stats.record_hit()
             return cached
-        page = self.buffer.read(page_id)
-        node = self.codec.decode(page_id, page.payload)
+        if _tracing.enabled:
+            # Node-cache misses are the real node expansions: the page is
+            # fetched and decoded.  Trace them as spans so the timeline
+            # shows where traversals leave the decoded-node cache.
+            t0 = time.perf_counter()
+            page = self.buffer.read(page_id)
+            node = self.codec.decode(page_id, page.payload)
+            _tracing.add_complete(
+                "rtree.node_expand",
+                t0,
+                time.perf_counter(),
+                cat="index",
+                args={
+                    "page_id": page_id,
+                    "tree": type(self).__name__,
+                    "level": node.level,
+                },
+            )
+        else:
+            page = self.buffer.read(page_id)
+            node = self.codec.decode(page_id, page.payload)
         self._node_cache.put(node)
         return node
 
@@ -128,10 +149,15 @@ class RTreeBase(ABC):
         self._node_cache.invalidate(node.page_id)
         self._node_cache.put(node)
 
-    def clear_cache(self) -> None:
-        """Drop all cached pages and decoded nodes (cold-cache runs)."""
-        self._node_cache.clear()
-        self.buffer.clear()
+    def clear_cache(self) -> dict[str, int]:
+        """Drop all cached pages and decoded nodes (cold-cache runs).
+
+        Returns ``{"nodes": ..., "pages": ...}`` — how many decoded
+        nodes and buffered pages were dropped.
+        """
+        nodes = self._node_cache.clear()
+        pages = self.buffer.clear()
+        return {"nodes": nodes, "pages": pages}
 
     def _new_node(self, level: int, entries: list) -> Node:
         node = Node(self.buffer.allocate(), level, entries)

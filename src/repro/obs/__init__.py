@@ -1,0 +1,80 @@
+"""Observability layer: phase tracing, metrics registry, and exporters.
+
+The paper argues for its algorithms entirely through cost anatomy — I/O
+vs. CPU time, combinations examined, feature objects pulled (Section
+8.1).  This package is the runtime counterpart for the grown system:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of labeled counters,
+  gauges and log-bucketed latency histograms (p50/p95/p99);
+* :mod:`repro.obs.tracing` — a near-zero-overhead span tracer (disabled
+  by default) recording per-query phase timelines and exporting Chrome
+  trace-event JSON loadable in Perfetto;
+* :mod:`repro.obs.export` — Prometheus text exposition, JSON snapshots,
+  and an optional stdlib ``http.server`` scrape endpoint;
+* ``python -m repro.obs`` — run a synthetic workload and emit a metrics
+  snapshot plus a trace file (see :mod:`repro.obs.cli`).
+
+Quick start::
+
+    from repro.obs import tracing, export
+
+    tracing.set_enabled(True)
+    result = processor.query(query)          # result.stats.phase_times
+    tracing.write_chrome_trace("trace.json")  # open in Perfetto
+    print(export.render_prometheus())         # scrape-format metrics
+
+See DESIGN.md §9 for the span taxonomy and how phase names map to the
+paper's Algorithms 1-4.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs import export, metrics, tracing
+from repro.obs.export import (
+    MetricsServer,
+    render_prometheus,
+    snapshot,
+    write_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    log_buckets,
+    registry,
+)
+from repro.obs.tracing import (
+    PhaseRecorder,
+    chrome_trace,
+    enabled_tracing,
+    recorder,
+    set_enabled,
+    span,
+    trace,
+    write_chrome_trace,
+)
+
+logging.getLogger(__name__).addHandler(logging.NullHandler())
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "MetricsServer",
+    "PhaseRecorder",
+    "chrome_trace",
+    "enabled_tracing",
+    "export",
+    "log_buckets",
+    "metrics",
+    "recorder",
+    "registry",
+    "render_prometheus",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "trace",
+    "tracing",
+    "write_chrome_trace",
+    "write_json",
+]

@@ -1,0 +1,245 @@
+"""``python -m repro.obs`` — run a workload, emit metrics + a trace.
+
+Builds a synthetic dataset, runs a repeated-query workload through the
+instrumented query stack with tracing enabled, and writes three
+artifacts:
+
+* a Chrome trace-event JSON (``--trace-out``, default
+  ``obs_trace.json``) — open it in Perfetto / ``chrome://tracing`` to
+  see the per-query phase timeline across executor worker threads;
+* a Prometheus text-exposition snapshot (``--metrics-out``, default
+  ``obs_metrics.prom``) with the query latency histograms labeled by
+  algorithm / variant / pulling strategy;
+* a JSON metrics snapshot (``--json-out``, default
+  ``obs_metrics.json``) including p50/p95/p99 summaries.
+
+``--smoke`` shrinks everything to a seconds-scale run for CI.
+``--serve PORT`` additionally exposes a live ``/metrics`` scrape
+endpoint until interrupted.  ``--no-trace`` runs metrics-only (useful
+for overhead measurements).
+
+Run::
+
+    PYTHONPATH=src python -m repro.obs --smoke --out-dir obs_out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import time
+from pathlib import Path
+
+from repro.obs import export, metrics, tracing
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_ALGORITHMS = ("stps", "stds")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--smoke", action="store_true", help="seconds-scale run")
+    parser.add_argument("--out-dir", type=Path, default=Path("."),
+                        help="directory for all artifacts (created if missing)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="Chrome trace-event JSON path "
+                             "(default <out-dir>/obs_trace.json)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="Prometheus text snapshot path "
+                             "(default <out-dir>/obs_metrics.prom)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="JSON metrics snapshot path "
+                             "(default <out-dir>/obs_metrics.json)")
+    parser.add_argument("--objects", type=int, default=8000)
+    parser.add_argument("--features", type=int, default=4000,
+                        help="features per feature set")
+    parser.add_argument("--sets", type=int, default=2, help="feature sets")
+    parser.add_argument("--vocab", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=12,
+                        help="distinct queries in the workload")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="workload repetitions (warm-cache traffic)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="executor worker threads")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--radius", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--algorithms", nargs="+",
+                        default=list(DEFAULT_ALGORITHMS),
+                        choices=["stps", "stds", "iss"])
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip tracing (metrics snapshot only)")
+    parser.add_argument("--verbose-trace", action="store_true",
+                        help="also record per-event cache-activity instants")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve /metrics on PORT until interrupted")
+    parser.add_argument("--log-level", default=None,
+                        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                        help="configure stdlib logging to stderr")
+    return parser
+
+
+def _publish_index_gauges(processor, registry: metrics.MetricsRegistry) -> None:
+    """Export per-tree I/O + cache counters as labeled gauges."""
+    io_reads = registry.gauge(
+        "repro_index_io_reads", "Physical page reads per tree.", ("tree",)
+    )
+    buffer_hits = registry.gauge(
+        "repro_index_buffer_hits", "Buffer-pool hits per tree.", ("tree",)
+    )
+    nc_hits = registry.gauge(
+        "repro_index_node_cache_hits",
+        "Decoded-node cache hits per tree.",
+        ("tree",),
+    )
+    nc_rate = registry.gauge(
+        "repro_index_node_cache_hit_rate",
+        "Decoded-node cache hit rate per tree.",
+        ("tree",),
+    )
+    trees = [("objects", processor.object_tree)] + [
+        (f"features_{i}", t) for i, t in enumerate(processor.feature_trees)
+    ]
+    for name, tree in trees:
+        io_reads.labels(tree=name).set(tree.stats.reads)
+        buffer_hits.labels(tree=name).set(tree.stats.buffer_hits)
+        nc_hits.labels(tree=name).set(tree.node_cache.hits)
+        nc_rate.labels(tree=name).set(tree.node_cache.hit_rate)
+
+
+def run_workload(args) -> dict:
+    """Build indexes, run the workload, return a summary dict."""
+    # Imports are local so ``--help`` never pays the numpy/index cost.
+    from repro.core.executor import QueryExecutor
+    from repro.core.processor import QueryProcessor
+    from repro.core.query import Variant
+    from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
+    from repro.data.workload import WorkloadSpec, make_workload
+
+    logger.info(
+        "building synthetic dataset: %d objects, %d x %d features",
+        args.objects, args.sets, args.features,
+    )
+    objects = synthetic_objects(args.objects, seed=args.seed)
+    feature_sets = synthetic_feature_sets(
+        args.sets, args.features, args.vocab, seed=args.seed + 1
+    )
+    processor = QueryProcessor.build(objects, feature_sets, index="srt")
+    spec = WorkloadSpec(
+        n_queries=args.queries, k=args.k, radius=args.radius,
+        seed=args.seed + 7,
+    )
+    queries = make_workload(feature_sets, spec)
+    workload = queries * args.repeats
+
+    # Start cold so the trace captures R-tree node expansion (building the
+    # indexes leaves every decoded node cached, which would otherwise hide
+    # ``rtree.node_expand`` spans behind a 100% node-cache hit rate).
+    processor.clear_buffers()
+    processor.reset_stats(metrics=False)
+
+    summary: dict = {"algorithms": {}}
+    with QueryExecutor(processor, max_workers=args.workers) as executor:
+        for algorithm in args.algorithms:
+            batch = workload
+            if algorithm == "iss":
+                batch = [q.with_variant(Variant.INFLUENCE) for q in workload]
+            t0 = time.perf_counter()
+            report = executor.run(batch, algorithm=algorithm)
+            wall = time.perf_counter() - t0
+            phase_totals: dict[str, float] = {}
+            for result in report.results:
+                for phase, seconds in result.stats.phase_times.items():
+                    phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+            summary["algorithms"][algorithm] = {
+                "queries": report.queries,
+                "wall_s": round(wall, 4),
+                "throughput_qps": round(report.throughput_qps, 1),
+                "latency_p50_s": round(report.latency_p50_s, 6),
+                "latency_p95_s": round(report.latency_p95_s, 6),
+                "latency_p99_s": round(report.latency_p99_s, 6),
+                "queue_wait_p95_s": round(report.queue_wait_p95_s, 6),
+                "node_cache_hit_rate": round(report.node_cache_hit_rate, 4),
+                "phase_times_s": {
+                    k: round(v, 4) for k, v in sorted(phase_totals.items())
+                },
+            }
+    _publish_index_gauges(processor, metrics.registry())
+    return summary
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    if args.smoke:
+        args.objects = min(args.objects, 2000)
+        args.features = min(args.features, 1000)
+        args.queries = min(args.queries, 6)
+        args.repeats = min(args.repeats, 2)
+
+    out_dir = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_out = args.trace_out or out_dir / "obs_trace.json"
+    metrics_out = args.metrics_out or out_dir / "obs_metrics.prom"
+    json_out = args.json_out or out_dir / "obs_metrics.json"
+
+    tracing.clear()
+    previous = tracing.set_enabled(
+        not args.no_trace, verbose_events=args.verbose_trace
+    )
+    try:
+        summary = run_workload(args)
+    finally:
+        tracing.set_enabled(previous)
+
+    metrics_out.write_text(export.render_prometheus())
+    export.write_json(json_out)
+    print(f"wrote {metrics_out} and {json_out}")
+    if not args.no_trace:
+        tracing.write_chrome_trace(trace_out)
+        n_events = len(tracing.events())
+        dropped = tracing.dropped_events()
+        print(
+            f"wrote {trace_out} ({n_events} events"
+            + (f", {dropped} dropped" if dropped else "")
+            + ") — open in Perfetto / chrome://tracing"
+        )
+    for algorithm, row in summary["algorithms"].items():
+        print(
+            f"  {algorithm:>4}: {row['queries']} queries in {row['wall_s']}s "
+            f"({row['throughput_qps']} q/s)  "
+            f"p50 {row['latency_p50_s'] * 1e3:.2f}ms / "
+            f"p95 {row['latency_p95_s'] * 1e3:.2f}ms / "
+            f"p99 {row['latency_p99_s'] * 1e3:.2f}ms  "
+            f"node-cache {row['node_cache_hit_rate']:.0%}"
+        )
+        for phase, seconds in row["phase_times_s"].items():
+            print(f"        {phase:<32} {seconds:.4f}s")
+
+    if args.serve is not None:
+        server = export.MetricsServer(port=args.serve).start()
+        print(
+            f"serving metrics on http://127.0.0.1:{server.port}/metrics "
+            "(Ctrl-C to stop)"
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

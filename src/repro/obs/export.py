@@ -1,0 +1,232 @@
+"""Metric exporters: Prometheus text exposition, JSON, scrape endpoint.
+
+Three ways to get the contents of a :class:`~repro.obs.metrics.MetricsRegistry`
+out of the process:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample line per
+  series, histograms as cumulative ``_bucket{le=...}`` series plus
+  ``_sum`` / ``_count``;
+* :func:`snapshot` / :func:`write_json` — a JSON document with the same
+  information plus the p50/p95/p99 summaries, convenient for benchmark
+  artifacts and tests;
+* :class:`MetricsServer` — an optional scrape endpoint on stdlib
+  ``http.server`` (no third-party dependency): ``GET /metrics`` returns
+  the text exposition, ``GET /metrics.json`` the JSON snapshot.  The
+  server runs on a daemon thread; pass ``port=0`` to bind an ephemeral
+  port (see ``server.port``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _label_str(labelnames, labelvalues, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    if registry is None:
+        registry = _metrics.registry()
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type_name}")
+        for labelvalues, child in family.series():
+            labels = _label_str(family.labelnames, labelvalues)
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                bounds = [*child.buckets, math.inf]
+                for bound, count in zip(bounds, cumulative):
+                    le = _label_str(
+                        family.labelnames,
+                        labelvalues,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# JSON snapshots
+# ----------------------------------------------------------------------
+def snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """JSON-able snapshot of every series in the registry."""
+    if registry is None:
+        registry = _metrics.registry()
+    out: dict[str, dict] = {}
+    for family in registry.families():
+        series = []
+        for labelvalues, child in family.series():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if isinstance(child, (Counter, Gauge)):
+                series.append({"labels": labels, "value": child.value})
+            elif isinstance(child, Histogram):
+                series.append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": list(child.buckets),
+                        "bucket_counts": child.bucket_counts(),
+                        "p50": child.p50,
+                        "p95": child.p95,
+                        "p99": child.p99,
+                    }
+                )
+        out[family.name] = {
+            "type": family.type_name,
+            "help": family.help,
+            "series": series,
+        }
+    return out
+
+
+def write_json(path, registry: MetricsRegistry | None = None) -> Path:
+    """Write :func:`snapshot` to ``path`` as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot(registry), indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# scrape endpoint
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set by MetricsServer
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_prometheus(self.registry).encode()
+            content_type = CONTENT_TYPE_PROMETHEUS
+        elif path == "/metrics.json":
+            body = (json.dumps(snapshot(self.registry)) + "\n").encode()
+            content_type = "application/json"
+        elif path == "/healthz":
+            body = b"ok\n"
+            content_type = "text/plain"
+        else:
+            self.send_error(404, "unknown path")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        logger.debug("metrics endpoint: " + fmt, *args)
+
+
+class MetricsServer:
+    """Optional Prometheus scrape endpoint on a daemon thread.
+
+    Usage::
+
+        server = MetricsServer(port=0).start()
+        print(f"scrape http://127.0.0.1:{server.port}/metrics")
+        ...
+        server.close()
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else _metrics.registry()
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        handler = type("BoundHandler", (_Handler,), {"registry": self.registry})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("metrics endpoint listening on %s:%d", self.host, self.port)
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,369 @@
+"""Near-zero-overhead span tracer with Chrome trace-event export.
+
+Records per-query phase timelines — STPS feature pulls / combination
+assembly / threshold updates, STDS chunk scans, ISS search, R-tree node
+expansion, cache activity — as *spans* and exports them in the Chrome
+trace-event JSON format (load the file in Perfetto / ``chrome://tracing``
+to see the timeline, one track per thread).
+
+Tracing is **disabled by default**: :func:`span` returns a shared no-op
+context manager after a single module-flag check, so instrumented hot
+paths pay one branch and one call when tracing is off (the tier-1
+overhead budget is <2%; see ``tests/obs/test_tracing.py``).  Hot loops
+can do even better by checking :data:`enabled` (or
+``recorder.active``) once per iteration and skipping the call entirely.
+
+Two verbosity levels:
+
+* ``set_enabled(True)`` — phase spans and node-expansion spans;
+* ``set_enabled(True, verbose=True)`` — additionally per-event instants
+  at cache decision points (node-cache / buffer-pool hits and misses),
+  which can produce very large traces.
+
+The event buffer is process-wide, thread-safe, and capped at
+:data:`MAX_EVENTS` (overflow is counted, not stored).  Timestamps come
+from ``time.perf_counter`` relative to a module epoch, in microseconds,
+as the trace-event spec requires.
+
+:class:`PhaseRecorder` is the bridge between the tracer and per-query
+cost anatomy: algorithms create one per query (via :func:`recorder`,
+which returns a no-op singleton when tracing is off), wrap their phases
+in ``recorder.span("phase")``, and store ``recorder.totals()`` into
+``QueryStats.phase_times`` — so a single ``QueryResult`` carries its own
+per-phase wall-time breakdown whenever tracing is on.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+#: Hard cap on buffered events; beyond it events are counted as dropped.
+MAX_EVENTS = 1_000_000
+
+#: Module flag, read on hot paths.  Mutate only via :func:`set_enabled`.
+enabled = False
+
+#: Verbose mode: also record per-event cache-activity instants.
+verbose = False
+
+_lock = threading.Lock()
+_events: list[dict] = []
+_dropped = 0
+_thread_names: dict[int, str] = {}
+_EPOCH = time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+# enable / disable
+# ----------------------------------------------------------------------
+def set_enabled(on: bool, verbose_events: bool | None = None) -> bool:
+    """Turn tracing on/off; returns the previous enabled flag.
+
+    ``verbose_events`` (when given) sets the verbose flag too; disabling
+    tracing always clears it.
+    """
+    global enabled, verbose
+    previous = enabled
+    enabled = bool(on)
+    if not enabled:
+        verbose = False
+    elif verbose_events is not None:
+        verbose = bool(verbose_events)
+    return previous
+
+
+def is_enabled() -> bool:
+    """Whether tracing is currently on."""
+    return enabled
+
+
+class enabled_tracing:
+    """Context manager enabling tracing for a block (tests, CLI)."""
+
+    def __init__(self, verbose_events: bool = False) -> None:
+        self._verbose = verbose_events
+        self._previous = False
+        self._previous_verbose = False
+
+    def __enter__(self) -> None:
+        global verbose
+        self._previous_verbose = verbose
+        self._previous = set_enabled(True, verbose_events=self._verbose)
+
+    def __exit__(self, *exc) -> bool:
+        set_enabled(self._previous, verbose_events=self._previous_verbose)
+        return False
+
+
+# ----------------------------------------------------------------------
+# event recording
+# ----------------------------------------------------------------------
+def _append(event: dict) -> None:
+    global _dropped
+    tid = threading.get_ident()
+    event["pid"] = os.getpid()
+    event["tid"] = tid
+    with _lock:
+        if len(_events) >= MAX_EVENTS:
+            _dropped += 1
+            return
+        if tid not in _thread_names:
+            _thread_names[tid] = threading.current_thread().name
+        _events.append(event)
+
+
+def add_complete(
+    name: str,
+    t0: float,
+    t1: float,
+    cat: str = "query",
+    args: dict | None = None,
+) -> None:
+    """Record a complete ("X") span from perf_counter stamps ``t0``/``t1``."""
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": (t0 - _EPOCH) * 1e6,
+        "dur": max(0.0, (t1 - t0) * 1e6),
+    }
+    if args:
+        event["args"] = args
+    _append(event)
+
+
+def instant(name: str, cat: str = "event", **args) -> None:
+    """Record an instant ("i") event (no-op while tracing is off)."""
+    if not enabled:
+        return
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "i",
+        "s": "t",  # thread-scoped
+        "ts": (time.perf_counter() - _EPOCH) * 1e6,
+    }
+    if args:
+        event["args"] = args
+    _append(event)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "cat", "args", "_t0")
+
+    def __init__(self, name: str, cat: str, args: dict | None) -> None:
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        add_complete(
+            self.name, self._t0, time.perf_counter(), self.cat, self.args
+        )
+        return False
+
+
+def span(name: str, cat: str = "query", **args):
+    """Context manager timing a block as one span.
+
+    One branch + one call when tracing is off (returns the shared no-op
+    span); a real timed span otherwise.
+    """
+    if not enabled:
+        return NULL_SPAN
+    return _Span(name, cat, args or None)
+
+
+def trace(name: str | None = None, cat: str = "query"):
+    """Decorator recording each call of the function as one span."""
+
+    def decorate(fn):
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*a, **kw):
+            if not enabled:
+                return fn(*a, **kw)
+            t0 = time.perf_counter()
+            try:
+                return fn(*a, **kw)
+            finally:
+                add_complete(span_name, t0, time.perf_counter(), cat)
+
+        return wrapper
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# per-query phase accounting
+# ----------------------------------------------------------------------
+class PhaseRecorder:
+    """Accumulates per-phase wall time for one query and emits spans.
+
+    ``active`` is True; hot loops may use it to skip instrumentation
+    calls entirely when handed the null recorder instead.
+    """
+
+    __slots__ = ("_totals", "_lock")
+
+    active = True
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def span(self, name: str, cat: str = "phase", **args) -> "_PhaseSpan":
+        return _PhaseSpan(self, name, cat, args or None)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold ``seconds`` into one phase total (thread-safe)."""
+        with self._lock:
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def totals(self) -> dict[str, float]:
+        """Per-phase wall seconds accumulated so far (a copy)."""
+        with self._lock:
+            return dict(self._totals)
+
+
+class _PhaseSpan:
+    __slots__ = ("_recorder", "name", "cat", "args", "_t0")
+
+    def __init__(
+        self,
+        recorder_: PhaseRecorder,
+        name: str,
+        cat: str,
+        args: dict | None,
+    ) -> None:
+        self._recorder = recorder_
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        self._recorder.add(self.name, t1 - self._t0)
+        add_complete(self.name, self._t0, t1, self.cat, self.args)
+        return False
+
+
+class _NullRecorder:
+    """Shared no-op recorder returned while tracing is off."""
+
+    __slots__ = ()
+
+    active = False
+
+    def span(self, name: str, cat: str = "phase", **args) -> _NullSpan:
+        return NULL_SPAN
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+    def totals(self) -> dict[str, float]:
+        return {}
+
+
+NULL_RECORDER = _NullRecorder()
+
+
+def recorder():
+    """A fresh :class:`PhaseRecorder`, or the no-op singleton when off."""
+    return PhaseRecorder() if enabled else NULL_RECORDER
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def events() -> list[dict]:
+    """A copy of the buffered events."""
+    with _lock:
+        return [dict(e) for e in _events]
+
+
+def dropped_events() -> int:
+    """Events discarded because the buffer was full."""
+    return _dropped
+
+
+def clear() -> int:
+    """Drop all buffered events; returns how many were dropped."""
+    global _dropped
+    with _lock:
+        n = len(_events)
+        _events.clear()
+        _thread_names.clear()
+        _dropped = 0
+    return n
+
+
+def chrome_trace() -> dict:
+    """The buffered events as a Chrome trace-event JSON object.
+
+    Adds ``thread_name`` metadata events so Perfetto labels the executor
+    worker tracks.
+    """
+    with _lock:
+        trace_events = [dict(e) for e in _events]
+        names = dict(_thread_names)
+    pid = os.getpid()
+    for tid, name in sorted(names.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path) -> Path:
+    """Write :func:`chrome_trace` to ``path`` (returns the Path written)."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace()) + "\n")
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "wrote %d trace events to %s (%d dropped)",
+            len(_events),
+            path,
+            _dropped,
+        )
+    return path

@@ -8,12 +8,16 @@ counted separately from physical reads so benchmarks can report both.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 
 from repro.errors import StorageError
+from repro.obs import tracing as _tracing
 from repro.storage.page import Page
 from repro.storage.pagefile import PageFile
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_BUFFER_PAGES = 256
 
@@ -46,7 +50,13 @@ class BufferPool:
             if cached is not None:
                 self._cache.move_to_end(page_id)
                 self.pagefile.stats.record_hit()
+                if _tracing.verbose:
+                    _tracing.instant(
+                        "buffer.hit", cat="cache", page_id=page_id
+                    )
                 return cached
+        if _tracing.verbose:
+            _tracing.instant("buffer.miss", cat="cache", page_id=page_id)
         page = self.pagefile.read(page_id)
         self._insert(page)
         return page
@@ -65,10 +75,17 @@ class BufferPool:
         with self._lock:
             self._cache.pop(page_id, None)
 
-    def clear(self) -> None:
-        """Empty the cache; subsequent reads hit the page file."""
+    def clear(self) -> int:
+        """Empty the cache; subsequent reads hit the page file.
+
+        Returns the number of pages dropped.
+        """
         with self._lock:
+            dropped = len(self._cache)
             self._cache.clear()
+        if dropped and logger.isEnabledFor(logging.DEBUG):
+            logger.debug("buffer pool cleared: %d pages dropped", dropped)
+        return dropped
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -25,11 +25,15 @@ traversals may share one tree across threads (see
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
+from repro.obs import tracing as _tracing
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.index.nodes import Node
@@ -66,11 +70,17 @@ class NodeCache:
                 self.misses += 1
                 if self.stats is not None:
                     self.stats.record_node_cache_miss()
+                if _tracing.verbose:  # pragma: no branch - flag check
+                    _tracing.instant(
+                        "node_cache.miss", cat="cache", page_id=page_id
+                    )
                 return None
             self._cache.move_to_end(page_id)
             self.hits += 1
             if self.stats is not None:
                 self.stats.record_node_cache_hit()
+            if _tracing.verbose:
+                _tracing.instant("node_cache.hit", cat="cache", page_id=page_id)
             return node
 
     def put(self, node: "Node") -> None:
@@ -81,17 +91,26 @@ class NodeCache:
             self._cache[node.page_id] = node
             self._cache.move_to_end(node.page_id)
             while len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
+                evicted, _ = self._cache.popitem(last=False)
+                if logger.isEnabledFor(logging.DEBUG):
+                    logger.debug(
+                        "node cache full (%d): evicted page %d for page %d",
+                        self.capacity, evicted, node.page_id,
+                    )
 
     def invalidate(self, page_id: int) -> None:
         """Drop one page's decoded node (call before rewriting the page)."""
         with self._lock:
             self._cache.pop(page_id, None)
 
-    def clear(self) -> None:
-        """Empty the cache (cold-cache benchmark runs)."""
+    def clear(self) -> int:
+        """Empty the cache (cold-cache runs); returns #nodes dropped."""
         with self._lock:
+            dropped = len(self._cache)
             self._cache.clear()
+        if dropped and logger.isEnabledFor(logging.DEBUG):
+            logger.debug("node cache cleared: %d decoded nodes dropped", dropped)
+        return dropped
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (capacity and contents preserved)."""

@@ -186,3 +186,74 @@ class TestBatchReport:
         assert report.results == []
         assert report.throughput_qps == 0.0
         assert report.node_cache_hit_rate == 0.0
+
+
+class TestLatencyAccounting:
+    def test_run_collects_one_sample_per_executed_query(self, srt_processor):
+        queries = make_queries(6, seed=94)
+        with QueryExecutor(srt_processor, max_workers=3) as executor:
+            report = executor.run(queries, dedup=False)
+        assert len(report.latencies_s) == 6
+        assert len(report.queue_waits_s) == 6
+        assert all(v > 0.0 for v in report.latencies_s)
+        assert all(v >= 0.0 for v in report.queue_waits_s)
+
+    def test_dedup_collapses_samples_to_distinct_queries(self, srt_processor):
+        query = make_queries(1, seed=95)[0]
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            report = executor.run([query] * 8)
+        assert report.queries == 8  # every answered position counts
+        assert len(report.latencies_s) == 1  # one execution
+
+    def test_percentiles_are_monotone_and_within_samples(self, srt_processor):
+        queries = make_queries(8, seed=96)
+        with QueryExecutor(srt_processor, max_workers=4) as executor:
+            report = executor.run(queries, dedup=False)
+        pct = report.latency_percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+        assert min(report.latencies_s) <= pct["p50"]
+        assert pct["p99"] <= max(report.latencies_s)
+        assert report.latency_p50_s == pct["p50"]
+        assert report.latency_p95_s == pct["p95"]
+        assert report.latency_p99_s == pct["p99"]
+        qpct = report.queue_wait_percentiles()
+        assert qpct["p50"] <= qpct["p95"] <= qpct["p99"]
+        assert report.queue_wait_p95_s == qpct["p95"]
+
+    def test_empty_batch_has_zero_percentiles(self, srt_processor):
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            report = executor.run([])
+        assert report.latencies_s == []
+        assert report.latency_p99_s == 0.0
+        assert report.queue_wait_p50_s == 0.0
+
+    def test_aggregate_phase_times(self, srt_processor):
+        from repro.obs import tracing
+
+        queries = make_queries(4, seed=97)
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            cold = executor.run(queries)
+            assert cold.aggregate_phase_times() == {}  # tracing off
+            tracing.clear()
+            previous = tracing.set_enabled(True)
+            try:
+                report = executor.run(queries)
+            finally:
+                tracing.set_enabled(previous)
+                tracing.clear()
+        totals = report.aggregate_phase_times()
+        assert "stps.feature_pull" in totals
+        assert all(v >= 0.0 for v in totals.values())
+
+    def test_query_many_records_queue_wait_metric(self, srt_processor):
+        from repro.obs import metrics
+
+        family = metrics.registry().histogram(
+            "repro_executor_queue_wait_seconds",
+            labelnames=("algorithm",),
+        )
+        before = family.labels(algorithm="stps").count
+        queries = make_queries(3, seed=98)
+        with QueryExecutor(srt_processor, max_workers=2) as executor:
+            executor.query_many(queries, dedup=False)
+        assert family.labels(algorithm="stps").count == before + 3

@@ -87,3 +87,64 @@ class TestBufferControl:
         assert all(
             t.stats.reads == 0 for t in srt_processor.feature_trees
         )
+
+    def test_reset_stats_zeroes_node_cache_counters(self, srt_processor):
+        """Regression: node-cache hit/miss counters used to survive resets."""
+        srt_processor.query(_q())
+        trees = (srt_processor.object_tree, *srt_processor.feature_trees)
+        assert any(t.node_cache.hits + t.node_cache.misses for t in trees)
+        srt_processor.reset_stats()
+        for tree in trees:
+            assert tree.node_cache.hits == 0
+            assert tree.node_cache.misses == 0
+            assert tree.stats.node_cache_hits == 0
+            assert tree.stats.node_cache_misses == 0
+
+    def test_reset_stats_zeroes_metrics_registry(self, srt_processor):
+        from repro.obs import metrics
+
+        srt_processor.query(_q())
+        families = metrics.registry().families()
+        assert any(list(f.series()) for f in families)
+        srt_processor.reset_stats()
+        for family in metrics.registry().families():
+            for _, metric in family.series():
+                value = getattr(metric, "count", None)
+                if value is None:
+                    value = metric.value
+                assert value == 0
+
+    def test_reset_stats_can_leave_metrics_alone(self, srt_processor):
+        from repro.obs import metrics
+
+        srt_processor.query(_q())
+        before = metrics.registry().counter(
+            "repro_queries_total",
+            "Queries executed.",
+            ("algorithm", "variant", "pulling"),
+        )
+        total = sum(m.value for _, m in before.series())
+        assert total > 0
+        srt_processor.reset_stats(metrics=False)
+        assert sum(m.value for _, m in before.series()) == total
+
+    def test_clear_buffers_reports_dropped(self, objects, feature_sets):
+        processor = QueryProcessor.build(objects, feature_sets)
+        processor.query(_q())
+        dropped = processor.clear_buffers()
+        assert dropped["pages"] > 0
+        assert dropped["nodes"] > 0
+        # Everything is gone, so a second clear drops nothing.
+        assert processor.clear_buffers() == {"pages": 0, "nodes": 0}
+
+    def test_cold_run_stats_start_from_zero(self, objects, feature_sets):
+        """clear_buffers + reset_stats gives a genuinely cold measurement."""
+        processor = QueryProcessor.build(objects, feature_sets)
+        processor.query(_q())  # warm everything
+        processor.clear_buffers()
+        processor.reset_stats()
+        trees = (processor.object_tree, *processor.feature_trees)
+        assert all(t.node_cache.hits + t.node_cache.misses == 0 for t in trees)
+        processor.query(_q())
+        # First touch of every node is a miss on a truly cold cache.
+        assert any(t.node_cache.misses > 0 for t in trees)

@@ -15,10 +15,10 @@ import pytest
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 
 
-def run_example(name: str, timeout: int = 600) -> str:
+def run_example(name: str, timeout: int = 600, args: list[str] = ()) -> str:
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
     proc = subprocess.run(
-        [sys.executable, path],
+        [sys.executable, path, *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -60,3 +60,13 @@ class TestExamples:
     def test_advanced_features(self):
         out = run_example("advanced_features.py")
         assert "identical top-k" in out
+
+    def test_trace_query(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        out = run_example("trace_query.py", args=[str(trace_path)])
+        assert "trace and metrics artifacts verified OK" in out
+        doc = json.loads(trace_path.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert {"query.stps", "query.stds", "rtree.node_expand"} <= names

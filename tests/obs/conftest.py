@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability tests.
+
+Tracing state is process-global, so every test in this package gets a
+clean, *disabled* tracer before and after it runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    tracing.set_enabled(False)
+    tracing.clear()
+    yield
+    tracing.set_enabled(False)
+    tracing.clear()

@@ -1,0 +1,136 @@
+"""End-to-end tests for ``python -m repro.obs`` and the instrumentation.
+
+These run a miniature workload through the real query stack and check
+the acceptance criteria: the Prometheus snapshot contains query latency
+histograms labeled by algorithm, and the Chrome trace contains spans for
+feature pulls, combination assembly and R-tree node expansion.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics, tracing
+from repro.obs.cli import build_parser, main
+
+TINY = [
+    "--objects", "400",
+    "--features", "200",
+    "--sets", "2",
+    "--queries", "3",
+    "--repeats", "2",
+    "--workers", "2",
+    "--vocab", "16",
+]
+
+
+class TestParser:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "--trace-out" in capsys.readouterr().out
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.algorithms == ["stps", "stds"]
+        assert not args.smoke
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithms", "magic"])
+
+
+class TestEndToEnd:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        rc = main(["--out-dir", str(tmp_path), *TINY])
+        assert rc == 0
+        return tmp_path
+
+    def test_writes_all_artifacts(self, artifacts):
+        assert (artifacts / "obs_trace.json").exists()
+        assert (artifacts / "obs_metrics.prom").exists()
+        assert (artifacts / "obs_metrics.json").exists()
+
+    def test_prometheus_snapshot_has_labeled_latency_histograms(
+        self, artifacts
+    ):
+        text = (artifacts / "obs_metrics.prom").read_text()
+        assert "# TYPE repro_query_seconds histogram" in text
+        for algorithm in ("stps", "stds"):
+            assert f'algorithm="{algorithm}"' in text
+        assert "repro_query_seconds_bucket{" in text
+        assert "repro_features_pulled_total" in text
+        assert "repro_executor_queue_wait_seconds" in text
+        assert "repro_index_node_cache_hit_rate" in text
+
+    def test_trace_has_required_spans(self, artifacts):
+        doc = json.loads((artifacts / "obs_trace.json").read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        for required in (
+            "query.stps",
+            "query.stds",
+            "stps.feature_pull",
+            "stps.combination_assembly",
+            "stds.chunk_scan",
+            "rtree.node_expand",
+        ):
+            assert required in names, f"missing span {required}"
+
+    def test_json_snapshot_has_percentiles(self, artifacts):
+        doc = json.loads((artifacts / "obs_metrics.json").read_text())
+        series = doc["repro_query_seconds"]["series"]
+        assert series
+        for s in series:
+            assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_tracing_disabled_after_run(self, artifacts):
+        assert not tracing.enabled
+
+
+class TestNoTrace:
+    def test_metrics_only_run(self, tmp_path):
+        rc = main(["--out-dir", str(tmp_path), "--no-trace", *TINY])
+        assert rc == 0
+        assert not (tmp_path / "obs_trace.json").exists()  # no trace written
+        assert tracing.events() == []  # and no spans recorded
+        text = (tmp_path / "obs_metrics.prom").read_text()
+        assert "repro_query_seconds_bucket{" in text  # metrics still on
+
+
+class TestInstrumentationNeutrality:
+    def test_tracing_does_not_change_results(self, srt_processor):
+        from repro.core.query import PreferenceQuery
+
+        q = PreferenceQuery(
+            k=5, radius=0.08, lam=0.5, keyword_masks=(0b11, 0b110)
+        )
+        metrics.registry().reset()
+        plain = srt_processor.query(q)
+        assert plain.stats.phase_times == {}  # tracing off: no breakdown
+        with tracing.enabled_tracing():
+            traced = srt_processor.query(q)
+        assert traced.oids == plain.oids
+        assert traced.scores == plain.scores
+        assert traced.stats.phase_times  # tracing on: breakdown present
+        assert all(v >= 0.0 for v in traced.stats.phase_times.values())
+
+    @pytest.mark.parametrize("algorithm", ["stps", "stds"])
+    def test_phase_times_cover_known_phases(self, srt_processor, algorithm):
+        from repro.core.query import PreferenceQuery
+
+        q = PreferenceQuery(
+            k=5, radius=0.08, lam=0.5, keyword_masks=(0b11, 0b110)
+        )
+        with tracing.enabled_tracing():
+            result = srt_processor.query(q, algorithm=algorithm)
+        phases = set(result.stats.phase_times)
+        if algorithm == "stps":
+            assert "stps.feature_pull" in phases
+            assert "stps.combination_assembly" in phases
+        else:
+            assert "stds.scan_objects" in phases
+            assert "stds.chunk_scan" in phases

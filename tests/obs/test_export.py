@@ -1,0 +1,152 @@
+"""Tests for repro.obs.export: Prometheus text, JSON, scrape endpoint."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    MetricsServer,
+    render_prometheus,
+    snapshot,
+    write_json,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: One sample line: name{labels} value — the grammar Prometheus scrapes.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]Inf|[0-9.e+-]+)$"
+)
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_queries_total", "Queries executed.", ("algorithm",))
+    c.labels(algorithm="stps").inc(3)
+    c.labels(algorithm="stds").inc(1)
+    g = reg.gauge("repro_cache_pages", "Buffered pages.")
+    g.set(42)
+    h = reg.histogram(
+        "repro_query_seconds", "Latency.", ("algorithm",), buckets=[0.01, 0.1, 1.0]
+    )
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.labels(algorithm="stps").observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    def test_every_line_parses(self, reg):
+        text = render_prometheus(reg)
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert SAMPLE_RE.match(line), line
+
+    def test_headers_and_samples(self, reg):
+        text = render_prometheus(reg)
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# HELP repro_queries_total Queries executed." in text
+        assert 'repro_queries_total{algorithm="stps"} 3.0' in text
+        assert "# TYPE repro_cache_pages gauge" in text
+        assert "repro_cache_pages 42.0" in text
+        assert "# TYPE repro_query_seconds histogram" in text
+
+    def test_histogram_buckets_cumulative_and_inf(self, reg):
+        text = render_prometheus(reg)
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'repro_query_seconds_bucket\{algorithm="stps",le="[^"]+"\} (\d+)',
+                text,
+            )
+        ]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert len(counts) == 4  # 3 finite bounds + +Inf
+        assert 'le="+Inf"} 4' in text
+        assert 'repro_query_seconds_count{algorithm="stps"} 4' in text
+        assert re.search(
+            r'repro_query_seconds_sum\{algorithm="stps"\} 5\.55', text
+        )
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", labelnames=("q",))
+        c.labels(q='say "hi"\nback\\slash').inc()
+        text = render_prometheus(reg)
+        assert r'q="say \"hi\"\nback\\slash"' in text
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        assert "g +Inf" in render_prometheus(reg)
+
+
+class TestJsonSnapshot:
+    def test_snapshot_shape(self, reg):
+        snap = snapshot(reg)
+        assert snap["repro_queries_total"]["type"] == "counter"
+        series = {
+            s["labels"]["algorithm"]: s["value"]
+            for s in snap["repro_queries_total"]["series"]
+        }
+        assert series == {"stps": 3.0, "stds": 1.0}
+        hist = snap["repro_query_seconds"]["series"][0]
+        assert hist["count"] == 4
+        assert hist["buckets"] == [0.01, 0.1, 1.0]
+        assert sum(hist["bucket_counts"]) == 4
+        assert hist["p50"] <= hist["p95"] <= hist["p99"]
+
+    def test_write_json(self, reg, tmp_path):
+        path = write_json(tmp_path / "snap.json", reg)
+        doc = json.loads(path.read_text())
+        assert doc["repro_cache_pages"]["series"][0]["value"] == 42.0
+
+
+class TestMetricsServer:
+    def test_scrape_endpoint(self, reg):
+        with MetricsServer(reg, port=0) as server:
+            assert server.port != 0
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE_PROMETHEUS
+                body = resp.read().decode()
+            assert 'repro_queries_total{algorithm="stps"} 3.0' in body
+            with urllib.request.urlopen(
+                f"{base}/metrics.json", timeout=5
+            ) as resp:
+                doc = json.load(resp)
+            assert doc["repro_cache_pages"]["series"][0]["value"] == 42.0
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert resp.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{base}/nope", timeout=5)
+
+    def test_scrape_reflects_live_updates(self, reg):
+        with MetricsServer(reg, port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            reg.counter("repro_queries_total", labelnames=("algorithm",)).labels(
+                algorithm="stps"
+            ).inc(7)
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                body = resp.read().decode()
+            assert 'repro_queries_total{algorithm="stps"} 10.0' in body
+
+    def test_close_idempotent(self, reg):
+        server = MetricsServer(reg, port=0).start()
+        server.close()
+        server.close()

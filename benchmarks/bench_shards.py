@@ -1,0 +1,235 @@
+"""Shard-scaling: partitioned engine vs the single-index baseline.
+
+Measures :class:`~repro.shard.ShardedQueryProcessor` against one
+monolithic :class:`~repro.core.processor.QueryProcessor` over the same
+clustered datasets and the same workload, at 1/2/4/8 shards:
+
+* **cold** — every cache (page buffer, decoded-node cache) is dropped
+  before *each* query, off the clock.  This is the per-invocation
+  serving cost and the headline number: the issue's acceptance bar is
+  >= 2x cold speedup at 4 shards.
+* **warm** — one warm-up pass, then a timed pass inside the same
+  session, so buffers stay hot.
+
+The cold win is *algorithmic*, not parallel: this container exposes a
+single CPU, so the fan-out runs serially (``max_workers`` defaults to
+the CPU count).  STPS cost is dominated by the cross-feature-set
+combination stream, whose churn grows super-linearly with the number
+of feature objects per index; splitting the space into S shards with an
+r-halo makes each per-shard stream drastically cheaper than one global
+stream, and the shared top-k floor lets later shards cut off early (or
+be pruned outright when their aggregate bound cannot beat the floor).
+
+Writes ``BENCH_shards.json`` (or ``--out``) and prints a summary.
+``--smoke`` runs a seconds-scale configuration for CI.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core.processor import QueryProcessor
+from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
+from repro.data.workload import WorkloadSpec, make_workload
+from repro.shard import ShardedQueryProcessor
+from repro.shard.sharded_processor import SHARD_QUERIES
+
+
+def build_datasets(args):
+    objects = synthetic_objects(args.objects, seed=args.seed)
+    feature_sets = synthetic_feature_sets(
+        args.sets, args.features, args.vocab, seed=args.seed + 1
+    )
+    return objects, feature_sets
+
+
+def run_cold(processor, workload, algorithm: str) -> float:
+    """Timed serial pass with every cache dropped before each query.
+
+    The ``clear_buffers`` calls happen off the clock — only query
+    execution is timed, exactly as in ``bench_executor.py``.
+    """
+    total = 0.0
+    for query in workload:
+        processor.clear_buffers()
+        t0 = time.perf_counter()
+        processor.query(query, algorithm=algorithm)
+        total += time.perf_counter() - t0
+    return total
+
+
+def run_warm(processor, workload, algorithm: str) -> float:
+    """One warm-up pass, then a timed pass with caches persisting."""
+    processor.clear_buffers()
+    for query in workload:
+        processor.query(query, algorithm=algorithm)  # warm-up
+    t0 = time.perf_counter()
+    for query in workload:
+        processor.query(query, algorithm=algorithm)
+    return time.perf_counter() - t0
+
+
+def shard_outcomes() -> dict[str, int]:
+    """Aggregate the ``repro_shard_queries`` counter by outcome."""
+    outcomes: dict[str, int] = {}
+    for labelvalues, child in SHARD_QUERIES.series():
+        outcome = dict(zip(SHARD_QUERIES.labelnames, labelvalues))[
+            "outcome"
+        ]
+        outcomes[outcome] = outcomes.get(outcome, 0) + int(child.value)
+    return outcomes
+
+
+def bench(args) -> dict:
+    objects, feature_sets = build_datasets(args)
+    spec = WorkloadSpec(
+        n_queries=args.queries,
+        k=args.k,
+        radius=args.radius,
+        lam=args.lam,
+        seed=args.seed + 7,
+    )
+    workload = make_workload(feature_sets, spec)
+
+    baseline = QueryProcessor.build(objects, feature_sets, index="srt")
+    results = []
+    for algorithm in args.algorithms:
+        base_cold = run_cold(baseline, workload, algorithm)
+        base_warm = run_warm(baseline, workload, algorithm)
+        rows = []
+        for shards in args.shards:
+            t0 = time.perf_counter()
+            with ShardedQueryProcessor.build(
+                objects,
+                feature_sets,
+                shards=shards,
+                radius=args.halo,
+                method=args.method,
+                max_workers=args.workers,
+            ) as sharded:
+                build_s = time.perf_counter() - t0
+                sharded.reset_stats()
+                cold_s = run_cold(sharded, workload, algorithm)
+                warm_s = run_warm(sharded, workload, algorithm)
+                outcomes = shard_outcomes()
+                rows.append(
+                    {
+                        "shards": sharded.shard_count,
+                        "build_s": round(build_s, 4),
+                        "cold_s": round(cold_s, 4),
+                        "warm_s": round(warm_s, 4),
+                        "speedup_cold": round(cold_s and base_cold / cold_s, 2),
+                        "speedup_warm": round(warm_s and base_warm / warm_s, 2),
+                        "shard_queries_executed": outcomes.get("executed", 0),
+                        "shard_queries_pruned": outcomes.get("pruned", 0),
+                    }
+                )
+        by_count = {row["shards"]: row for row in rows}
+        results.append(
+            {
+                "algorithm": algorithm,
+                "queries": len(workload),
+                "baseline_cold_s": round(base_cold, 4),
+                "baseline_warm_s": round(base_warm, 4),
+                "shards": rows,
+                "speedup_cold_s4": by_count.get(4, {}).get(
+                    "speedup_cold", 0.0
+                ),
+            }
+        )
+
+    return {
+        "benchmark": "shard-scaling",
+        "config": {
+            "objects": args.objects,
+            "features_per_set": args.features,
+            "feature_sets": args.sets,
+            "vocabulary": args.vocab,
+            "queries": args.queries,
+            "k": args.k,
+            "radius": args.radius,
+            "lam": args.lam,
+            "halo_radius": args.halo,
+            "method": args.method,
+            "workers": args.workers,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        # Headline: the engine-default algorithm (STPS) — the expensive
+        # cold path sharding exists to amortize.  STDS rows stay in
+        # ``results`` for honest comparison: its cold cost is already
+        # ~50x lower and sharding is roughly neutral for it.
+        "headline_algorithm": args.algorithms[0],
+        "speedup_cold_s4": results[0]["speedup_cold_s4"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="seconds-scale run")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_shards.json"))
+    parser.add_argument("--objects", type=int, default=4000)
+    parser.add_argument("--features", type=int, default=2500)
+    parser.add_argument("--sets", type=int, default=3)
+    parser.add_argument("--vocab", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=6)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--radius", type=float, default=0.01)
+    parser.add_argument("--lam", type=float, default=0.5)
+    parser.add_argument("--halo", type=float, default=0.02)
+    parser.add_argument("--method", default="kd", choices=["grid", "kd"])
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan-out workers per query (default: min(shards, cpus))",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--algorithms", nargs="+", default=["stps", "stds"],
+        choices=["stps", "stds"],
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.objects = min(args.objects, 1200)
+        args.features = min(args.features, 700)
+        args.queries = min(args.queries, 3)
+        args.shards = [s for s in args.shards if s <= 4]
+
+    payload = bench(args)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    for row in payload["results"]:
+        print(
+            f"  {row['algorithm']:>4}: {row['queries']} queries  "
+            f"baseline cold {row['baseline_cold_s']:.2f}s / "
+            f"warm {row['baseline_warm_s']:.2f}s"
+        )
+        for shard_row in row["shards"]:
+            print(
+                f"        S{shard_row['shards']}: "
+                f"cold {shard_row['cold_s']:.2f}s "
+                f"({shard_row['speedup_cold']:.2f}x)  "
+                f"warm {shard_row['warm_s']:.2f}s "
+                f"({shard_row['speedup_warm']:.2f}x)  "
+                f"executed {shard_row['shard_queries_executed']} / "
+                f"pruned {shard_row['shard_queries_pruned']}  "
+                f"build {shard_row['build_s']:.2f}s"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

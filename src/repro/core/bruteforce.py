@@ -63,6 +63,11 @@ def component_score(
     lam = query.lam
     best = 0.0
     if query.variant is Variant.NEAREST:
+        # Definition 7 leaves equidistant nearest features unspecified;
+        # the library's convention (matching STPS-NN, which pops
+        # combinations in descending score order and therefore resolves a
+        # shared Voronoi boundary in favour of the better feature) is to
+        # break distance ties by the *maximum* preference score.
         nearest_d = math.inf
         nearest_score = 0.0
         for t in feature_set:
@@ -70,9 +75,10 @@ def component_score(
             if (t_mask & mask) == 0:
                 continue
             d = math.hypot(t.x - x, t.y - y)
-            if d < nearest_d or (d == nearest_d and False):
+            s = (1.0 - lam) * t.score + lam * jaccard(t_mask, mask)
+            if d < nearest_d or (d == nearest_d and s > nearest_score):
                 nearest_d = d
-                nearest_score = (1.0 - lam) * t.score + lam * jaccard(t_mask, mask)
+                nearest_score = s
         return nearest_score
     for t in feature_set:
         t_mask = t.keyword_mask()

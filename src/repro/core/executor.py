@@ -67,6 +67,14 @@ BATCH_SECONDS = _metrics.registry().histogram(
     "Wall time of one batch run.",
     ("algorithm",),
 )
+#: Worker exceptions, labeled by algorithm and exception class name.
+EXECUTOR_FAILURES = _metrics.registry().counter(
+    "repro_executor_failures_total",
+    "Queries that raised inside an executor worker.",
+    ("algorithm", "error"),
+)
+
+ON_ERROR_MODES = ("raise", "return")
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -75,6 +83,30 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
         return 0.0
     rank = max(1, math.ceil(q * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(slots=True)
+class QueryFailure:
+    """One query that raised inside an executor worker.
+
+    ``index`` is the position of the query's *first occurrence* in the
+    input batch (deduplicated batches execute each distinct query once;
+    every duplicate position shares this failure).  ``error`` is the
+    original exception object, ``message`` its rendered text.
+    """
+
+    index: int
+    query: PreferenceQuery
+    error: BaseException
+    message: str
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for logs and batch reports."""
+        return {
+            "index": self.index,
+            "error": type(self.error).__name__,
+            "message": self.message,
+        }
 
 
 @dataclass(slots=True)
@@ -88,9 +120,10 @@ class BatchReport:
     properties are nearest-rank percentiles over those samples.
     """
 
-    results: list[QueryResult] = field(default_factory=list)
+    results: list[QueryResult | None] = field(default_factory=list)
     wall_s: float = 0.0
     queries: int = 0
+    failures: list[QueryFailure] = field(default_factory=list)
     node_cache_hits: int = 0
     node_cache_misses: int = 0
     io_reads: int = 0
@@ -160,6 +193,8 @@ class BatchReport:
         totals: dict[str, float] = {}
         seen: set[int] = set()
         for result in self.results:
+            if result is None:  # failed position (on_error="return")
+                continue
             if id(result) in seen:  # dedup'd batches share result objects
                 continue
             seen.add(id(result))
@@ -199,6 +234,20 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _trees(self):
+        """Every index the processor reads (duck-typed).
+
+        Prefers the processor's ``trees()`` accessor (both
+        :class:`~repro.core.processor.QueryProcessor` and
+        :class:`~repro.shard.ShardedQueryProcessor` provide it) and falls
+        back to the classic ``object_tree``/``feature_trees`` attributes
+        for processor-shaped test doubles.
+        """
+        trees = getattr(self.processor, "trees", None)
+        if callable(trees):
+            return list(trees())
+        return [self.processor.object_tree, *self.processor.feature_trees]
+
     def query_many(
         self,
         queries: Sequence[PreferenceQuery],
@@ -207,8 +256,10 @@ class QueryExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
         dedup: bool = True,
+        on_error: str = "raise",
         _timings: list[tuple[float, float]] | None = None,
-    ) -> list[QueryResult]:
+        _failures: list[QueryFailure] | None = None,
+    ) -> list[QueryResult | None]:
         """Execute many queries concurrently; results in input order.
 
         Every query runs the exact serial code path, so each
@@ -224,20 +275,42 @@ class QueryExecutor:
         shared object.  Pass ``dedup=False`` to force one execution per
         entry (e.g. when measuring per-query costs).
 
-        ``_timings`` (internal, used by :meth:`run`) collects one
-        ``(queue_wait_s, latency_s)`` sample per executed query;
-        ``list.append`` is atomic, so workers share the list freely.
+        ``on_error`` decides what a worker exception does to the batch.
+        Either way every submitted future is awaited first, so one bad
+        query can never wedge or abandon the rest of the batch:
+
+        * ``"raise"`` (default) — re-raise the first failure (by input
+          order) after the whole batch has settled;
+        * ``"return"`` — succeed with ``None`` at each failed position
+          and record one :class:`QueryFailure` per failed execution
+          (surfaced as :attr:`BatchReport.failures` via :meth:`run`).
+
+        Failures also increment
+        ``repro_executor_failures_total{algorithm,error}``.
+
+        ``_timings`` / ``_failures`` (internal, used by :meth:`run`)
+        collect per-executed-query ``(queue_wait_s, latency_s)`` samples
+        and structured failures; ``list.append`` is atomic, so workers
+        share the lists freely.
         """
         if self._closed:
             raise QueryError("executor is closed")
+        if on_error not in ON_ERROR_MODES:
+            raise QueryError(
+                f"unknown on_error {on_error!r}; choose from {ON_ERROR_MODES}"
+            )
         if dedup:
             # PreferenceQuery is a frozen dataclass — hashable by value.
             distinct: dict[PreferenceQuery, int] = {}
-            for query in queries:
+            first_pos: dict[PreferenceQuery, int] = {}
+            for pos, query in enumerate(queries):
                 distinct.setdefault(query, len(distinct))
+                first_pos.setdefault(query, pos)
             to_run: Sequence[PreferenceQuery] = list(distinct)
+            positions = [first_pos[query] for query in to_run]
         else:
             to_run = queries
+            positions = list(range(len(queries)))
 
         queue_wait_metric = QUEUE_WAIT_SECONDS.labels(algorithm=algorithm)
 
@@ -260,7 +333,34 @@ class QueryExecutor:
             self._pool.submit(run_one, query, time.perf_counter())
             for query in to_run
         ]
-        results = [f.result() for f in futures]
+        # Settle *every* future before deciding how to react: a failure
+        # must not abandon (or cancel) the rest of the batch.
+        results: list[QueryResult | None] = []
+        failures: list[QueryFailure] = []
+        for pos, query, future in zip(positions, to_run, futures):
+            exc = future.exception()
+            if exc is None:
+                results.append(future.result())
+                continue
+            results.append(None)
+            EXECUTOR_FAILURES.labels(
+                algorithm=algorithm, error=type(exc).__name__
+            ).inc()
+            failures.append(
+                QueryFailure(
+                    index=pos, query=query, error=exc, message=str(exc)
+                )
+            )
+        if failures:
+            failures.sort(key=lambda f: f.index)
+            logger.warning(
+                "batch: %d of %d queries failed (first: %s)",
+                len(failures), len(to_run), failures[0].message,
+            )
+            if on_error == "raise":
+                raise failures[0].error
+            if _failures is not None:
+                _failures.extend(failures)
         if not dedup:
             return results
         return [results[distinct[query]] for query in queries]
@@ -273,6 +373,7 @@ class QueryExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
         dedup: bool = True,
+        on_error: str = "raise",
     ) -> BatchReport:
         """Like :meth:`query_many` but with workload-level accounting.
 
@@ -280,10 +381,15 @@ class QueryExecutor:
         with ``dedup`` on, duplicated queries execute once, so counters
         cover the distinct executions while ``queries``/``throughput_qps``
         count every answered position.
+
+        With ``on_error="return"``, failed positions hold ``None`` in
+        :attr:`BatchReport.results` and each failed execution is recorded
+        as a :class:`QueryFailure` in :attr:`BatchReport.failures`.
         """
-        trees = [self.processor.object_tree] + list(self.processor.feature_trees)
+        trees = self._trees()
         before = [t.pagefile.stats.snapshot() for t in trees]
         timings: list[tuple[float, float]] = []
+        failures: list[QueryFailure] = []
         t0 = time.perf_counter()
         results = self.query_many(
             queries,
@@ -292,7 +398,9 @@ class QueryExecutor:
             batch_size=batch_size,
             parallelism=parallelism,
             dedup=dedup,
+            on_error=on_error,
             _timings=timings,
+            _failures=failures,
         )
         wall_s = time.perf_counter() - t0
         BATCH_SECONDS.labels(algorithm=algorithm).observe(wall_s)
@@ -300,6 +408,7 @@ class QueryExecutor:
             results=results,
             wall_s=wall_s,
             queries=len(results),
+            failures=failures,
             queue_waits_s=[w for w, _ in timings],
             latencies_s=[lat for _, lat in timings],
         )

@@ -41,8 +41,15 @@ def stps_influence(
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
+    floor: float = -math.inf,
 ) -> QueryResult:
-    """Run STPS for the influence score variant (Algorithm 5)."""
+    """Run STPS for the influence score variant (Algorithm 5).
+
+    ``floor`` — see :func:`repro.core.stps.stps`: the external lower
+    bound on the caller's merged k-th score.  ``s(C)`` upper-bounds every
+    object of this and all later combinations, so the loop ends once it
+    drops *strictly* below the floor.
+    """
     if query.variant is not Variant.INFLUENCE:
         raise QueryError(f"stps_influence() got variant {query.variant}")
     tracker = StatsTracker(
@@ -69,8 +76,13 @@ def stps_influence(
             break
         # s(C) is the score of a hypothetical object at distance 0 from
         # every member, hence an upper bound for all unseen objects of
-        # this and every later (lower-scored) combination.
-        if len(best) >= k and combo.score <= threshold:
+        # this and every later (lower-scored) combination.  Strict
+        # comparisons throughout: an object can *attain* the bound
+        # (distance 0 to every member), and an exact tie at the k-th
+        # score must survive for the (score desc, oid asc) tie-break.
+        if combo.score < floor:
+            break
+        if len(best) >= k and combo.score < threshold:
             break
         if combo.is_all_virtual:
             continue  # contributes score 0 to every object
@@ -83,7 +95,7 @@ def stps_influence(
             _combo_influence_bound_cached(
                 combo.features, radius, decay_cache
             )
-            <= threshold
+            < threshold
         ):
             continue
         members = [
@@ -91,9 +103,16 @@ def stps_influence(
         ]
         updated = False
         with rec.span("stps.get_data_objects"):
+            # best_first keeps scores strictly above its floor; back the
+            # threshold off by one ulp so exact ties are retained.
             retrieved = list(
                 _influence_top_k_members(
-                    object_tree, members, query, threshold
+                    object_tree,
+                    members,
+                    query,
+                    math.nextafter(threshold, -math.inf)
+                    if math.isfinite(threshold)
+                    else threshold,
                 )
             )
         for score, entry in retrieved:
@@ -208,7 +227,7 @@ def _influence_top_k_members(
         )
 
     return object_tree.best_first(
-        node_bound, point_score, limit=query.k, floor=floor
+        node_bound, point_score, limit=query.k, floor=floor, ties=True
     )
 
 

@@ -96,7 +96,15 @@ def influence_search(
         with rec.span("iss.search"):
             for e in object_tree.root_node().entries:
                 push(e, root_bound, False)
-            while heap and len(collected) < query.k:
+            while heap:
+                # Tie-complete cutoff: keep draining entries whose bound
+                # ties the k-th exact score so rank_items can break the
+                # full tie set canonically by oid (heap order is
+                # insertion order, not oid order).
+                if len(collected) >= query.k and (
+                    -heap[0][0] < collected[query.k - 1][0]
+                ):
+                    break
                 neg_bound, _, refined, entry = heapq.heappop(heap)
                 is_point = isinstance(entry, ObjectLeafEntry)
                 if not refined:

@@ -39,8 +39,14 @@ def stps_nearest(
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
+    floor: float = float("-inf"),
 ) -> QueryResult:
-    """Run STPS for the nearest-neighbor score variant."""
+    """Run STPS for the nearest-neighbor score variant.
+
+    ``floor`` — see :func:`repro.core.stps.stps`: combinations scoring
+    strictly below it are never expanded (their objects cannot reach the
+    caller's merged top-k); ties at the floor are still processed.
+    """
     if query.variant is not Variant.NEAREST:
         raise QueryError(f"stps_nearest() got variant {query.variant}")
     tracker = StatsTracker(
@@ -60,9 +66,19 @@ def stps_nearest(
     seen: set[int] = set()
     collected: list[tuple[float, int, float, float]] = []
 
-    while len(collected) < query.k:
+    while True:
         combo = iterator.next()
         if combo is None:
+            break
+        if combo.score < floor:
+            break  # descending scores: nothing below the floor can rank
+        # Tie-complete cutoff (see repro.core.stps.stps): drain every
+        # combination tying the k-th collected score so rank_items sees
+        # the full tie set and can break ties canonically by oid.
+        if (
+            len(collected) >= query.k
+            and combo.score < collected[query.k - 1][0]
+        ):
             break
         if combo.is_all_virtual:
             remaining = sorted(
@@ -70,7 +86,7 @@ def stps_nearest(
                 for e in object_tree.all_entries()
                 if e.oid not in seen
             )
-            for oid, x, y in remaining[: query.k - len(collected)]:
+            for oid, x, y in remaining[: query.k]:
                 seen.add(oid)
                 collected.append((0.0, oid, x, y))
             break

@@ -123,6 +123,15 @@ class QueryProcessor:
         ]
         return cls(object_tree, feature_trees)
 
+    def trees(self):
+        """Every index this processor reads: object tree + feature trees.
+
+        Duck-typed accessor shared with
+        :class:`~repro.shard.ShardedQueryProcessor` so the executor can
+        attribute I/O without knowing the processor flavour.
+        """
+        return [self.object_tree, *self.feature_trees]
+
     def query(
         self,
         query: PreferenceQuery,
@@ -130,6 +139,7 @@ class QueryProcessor:
         pulling: str = PULL_PRIORITIZED,
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
+        floor: float = float("-inf"),
     ) -> QueryResult:
         """Execute a query with the chosen algorithm.
 
@@ -142,6 +152,12 @@ class QueryProcessor:
         of the batched Algorithm 2 and the number of threads scoring a
         chunk against the feature sets concurrently); they are ignored by
         the other algorithms.  Results never depend on either knob.
+
+        ``floor`` is an externally known lower bound on the caller's
+        merged k-th best score (the sharded engine's cross-shard
+        threshold; see :mod:`repro.shard`).  Items scoring strictly below
+        it may be omitted; items at or above it are always exact.  The
+        default (``-inf``) disables the cut.  ISS ignores the hint.
 
         Every call observes the latency histogram
         ``repro_query_seconds{algorithm,variant,pulling}`` in the default
@@ -158,7 +174,7 @@ class QueryProcessor:
             c=query.c,
         ):
             result = self._dispatch(
-                query, algorithm, pulling, batch_size, parallelism
+                query, algorithm, pulling, batch_size, parallelism, floor
             )
         elapsed = time.perf_counter() - t0
         labels = {
@@ -183,6 +199,7 @@ class QueryProcessor:
         pulling: str,
         batch_size: int,
         parallelism: int | None,
+        floor: float = float("-inf"),
     ) -> QueryResult:
         """Route to the algorithm/variant implementation (uninstrumented)."""
         if algorithm == ALGORITHM_STDS:
@@ -192,6 +209,7 @@ class QueryProcessor:
                 query,
                 batch_size=batch_size,
                 parallelism=parallelism,
+                floor=floor,
             )
         if algorithm == ALGORITHM_ISS:
             from repro.core.influence_search import influence_search
@@ -205,12 +223,18 @@ class QueryProcessor:
                 "or 'iss'"
             )
         if query.variant is Variant.RANGE:
-            return stps(self.object_tree, self.feature_trees, query, pulling)
+            return stps(
+                self.object_tree, self.feature_trees, query, pulling,
+                floor=floor,
+            )
         if query.variant is Variant.INFLUENCE:
             return stps_influence(
-                self.object_tree, self.feature_trees, query, pulling
+                self.object_tree, self.feature_trees, query, pulling,
+                floor=floor,
             )
-        return stps_nearest(self.object_tree, self.feature_trees, query, pulling)
+        return stps_nearest(
+            self.object_tree, self.feature_trees, query, pulling, floor=floor
+        )
 
     def query_many(
         self,
@@ -221,6 +245,7 @@ class QueryProcessor:
         parallelism: int | None = None,
         max_workers: int = 4,
         dedup: bool = True,
+        on_error: str = "raise",
     ) -> list[QueryResult]:
         """Execute many queries concurrently; results in input order.
 
@@ -230,6 +255,9 @@ class QueryProcessor:
         batches.  Each result's items are identical to a serial
         :meth:`query` call for the same query.  ``dedup`` (default on)
         executes duplicate queries once and shares the result object.
+        ``on_error="return"`` isolates failing queries as ``None``
+        positions instead of raising (see
+        :meth:`QueryExecutor.query_many`).
         """
         from repro.core.executor import QueryExecutor
 
@@ -241,6 +269,7 @@ class QueryProcessor:
                 batch_size=batch_size,
                 parallelism=parallelism,
                 dedup=dedup,
+                on_error=on_error,
             )
 
     def stream(

@@ -349,6 +349,7 @@ def stds(
     query: PreferenceQuery,
     batch_size: int = DEFAULT_BATCH_SIZE,
     parallelism: int | None = None,
+    floor: float = -math.inf,
 ) -> QueryResult:
     """Run STDS for any score variant.
 
@@ -361,6 +362,13 @@ def stds(
     kicks in between chunks).  ``parallelism`` > 1 scores each chunk
     against all feature sets concurrently (range variant only; results
     are identical to the serial path, see module docstring).
+
+    ``floor`` is an externally known lower bound on the global k-th best
+    score (used by the sharded engine, which feeds each shard the merged
+    k-th score collected so far).  Objects whose score is *strictly*
+    below ``floor`` may be omitted from the result; objects scoring
+    ``>= floor`` are always reported exactly, so a caller that only
+    consumes items at or above its own floor sees unchanged answers.
     """
     if len(feature_trees) != query.c:
         raise QueryError(
@@ -387,15 +395,18 @@ def stds(
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 candidates = _stds_range_batched(
                     feature_trees, query, objects, batch_size, stats, pool,
-                    rec=rec,
+                    rec=rec, floor=floor,
                 )
         else:
             candidates = _stds_range_batched(
-                feature_trees, query, objects, batch_size, stats, rec=rec
+                feature_trees, query, objects, batch_size, stats, rec=rec,
+                floor=floor,
             )
     else:
         with rec.span("stds.score_objects"):
-            candidates = _stds_per_object(feature_trees, query, objects, stats)
+            candidates = _stds_per_object(
+                feature_trees, query, objects, stats, floor=floor
+            )
 
     stats.phase_times = rec.totals()
     result = QueryResult(rank_items(candidates, query.k), stats)
@@ -436,9 +447,10 @@ def _stds_range_batched(
     stats: QueryStats | None = None,
     pool: ThreadPoolExecutor | None = None,
     rec=_tracing.NULL_RECORDER,
+    floor: float = -math.inf,
 ) -> list[tuple[float, int, float, float]]:
     top: list[tuple[float, int]] = []  # min-heap by score
-    threshold = -math.inf
+    threshold = floor
     candidates: list[tuple[float, int, float, float]] = []
     c = query.c
     debug = logger.isEnabledFor(logging.DEBUG)
@@ -497,11 +509,16 @@ def _stds_range_batched(
                     partial[oid] += scores[oid]
                 break
             survivors: dict[int, tuple[float, float]] = {}
+            drop_cut = threshold - _DROP_EPS
             for oid, loc in pending.items():
                 total = partial[oid] + scores[oid]
                 partial[oid] = total
                 # τ̂(p): known partials + 1 per unknown set (Section 5).
-                if total + remaining_sets > threshold:
+                # Drop only when *strictly* below the cut (with the same
+                # epsilon guard as compute_scores_batch): an object whose
+                # exact aggregate ties the k-th score must survive so the
+                # (score desc, oid asc) tie-break sees it.
+                if total + remaining_sets > drop_cut:
                     survivors[oid] = loc
             pending = survivors
         with rec.span("stds.threshold_fold", chunk=chunk_id):
@@ -512,7 +529,7 @@ def _stds_range_batched(
                     heapq.heappush(top, (score, -oid))
                 elif score > top[0][0]:
                     heapq.heapreplace(top, (score, -oid))
-                if len(top) == query.k:
+                if len(top) == query.k and top[0][0] > threshold:
                     threshold = top[0][0]
         if debug:
             logger.debug(
@@ -544,21 +561,25 @@ def _stds_per_object(
     query: PreferenceQuery,
     objects: list[tuple[int, float, float]],
     stats: QueryStats | None = None,
+    floor: float = -math.inf,
 ) -> list[tuple[float, int, float, float]]:
     score_fn = {
         Variant.INFLUENCE: compute_score_influence,
         Variant.NEAREST: compute_score_nearest,
         Variant.RANGE: compute_score,
     }[query.variant]
-    threshold = -math.inf
+    threshold = floor
     top: list[tuple[float, int]] = []
     candidates: list[tuple[float, int, float, float]] = []
     c = query.c
     for oid, x, y in objects:
         total = 0.0
         for i, tree in enumerate(feature_trees):
-            if total + (c - i) <= threshold:
-                break  # τ̂(p) can no longer reach the top-k
+            if total + (c - i) < threshold - _DROP_EPS:
+                # τ̂(p) strictly below the k-th score (epsilon-guarded so
+                # an exact tie at the cut always survives for the
+                # (score desc, oid asc) tie-break).
+                break
             total += score_fn(tree, query, query.keyword_masks[i], (x, y), stats)
         else:
             candidates.append((total, oid, x, y))
@@ -566,7 +587,7 @@ def _stds_per_object(
                 heapq.heappush(top, (total, -oid))
             elif total > top[0][0]:
                 heapq.heapreplace(top, (total, -oid))
-            if len(top) == query.k:
+            if len(top) == query.k and top[0][0] > threshold:
                 threshold = top[0][0]
     return candidates
 

@@ -46,8 +46,17 @@ def stps(
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
+    floor: float = float("-inf"),
 ) -> QueryResult:
-    """Run STPS for the range score variant (Definition 2)."""
+    """Run STPS for the range score variant (Definition 2).
+
+    ``floor`` is an externally known lower bound on the global k-th best
+    score (the sharded engine's cross-shard threshold).  Combinations
+    stream in descending score order, so the loop stops as soon as the
+    next combination scores *strictly* below ``floor`` — objects at or
+    above the floor are always reported exactly; objects strictly below
+    it may be omitted.
+    """
     if query.variant is not Variant.RANGE:
         raise QueryError(
             f"stps() handles the range variant; got {query.variant}. "
@@ -64,20 +73,36 @@ def stps(
     seen: set[int] = set()
     collected: list[tuple[float, int, float, float]] = []
 
-    while len(collected) < query.k:
+    while True:
         combo = iterator.next()
         if combo is None:
             break
+        if combo.score < floor:
+            # Scores are non-increasing: nothing below the external floor
+            # can reach the caller's merged top-k (ties at the floor are
+            # still processed).
+            break
+        # Tie-complete cutoff: once k objects are known, keep draining
+        # combinations that *tie* the k-th score so rank_items can apply
+        # the canonical (score desc, oid asc) tie-break over the full tie
+        # set — stopping at len == k would keep an arbitrary
+        # retrieval-order subset of the tied objects instead.
+        if (
+            len(collected) >= query.k
+            and combo.score < collected[query.k - 1][0]
+        ):
+            break
         if combo.is_all_virtual:
             # Score-0 tail: any remaining object qualifies; take the
-            # lowest ids for deterministic tie-breaking.
+            # lowest ids (up to k — enough to cover every slot even when
+            # the whole result ties at zero).
             with rec.span("stps.get_data_objects", tail=True):
                 remaining = sorted(
                     (e.oid, e.x, e.y)
                     for e in object_tree.all_entries()
                     if e.oid not in seen
                 )
-            for oid, x, y in remaining[: query.k - len(collected)]:
+            for oid, x, y in remaining[: query.k]:
                 seen.add(oid)
                 collected.append((0.0, oid, x, y))
             break

@@ -1,0 +1,145 @@
+"""Persistence for shard partitions: one directory, one manifest.
+
+Layout written by :func:`save_shards`::
+
+    <dir>/manifest.json                  # partition geometry + file map
+    <dir>/shard-0/objects.jsonl          # repro.data.io JSON-lines format
+    <dir>/shard-0/features-0.jsonl
+    <dir>/shard-0/features-1.jsonl
+    <dir>/shard-1/...
+
+The manifest records each shard's assignment bbox and halo radius (the
+two inputs :func:`~repro.shard.partitioner.partition` derived them from),
+so :func:`load_shards` reconstructs :class:`~repro.shard.ShardSpec`s that
+are byte-equivalent to the originals and can be fed straight into
+:meth:`~repro.shard.ShardedQueryProcessor.from_specs` — partition once,
+rebuild indexes anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.data.io import (
+    load_features,
+    load_objects,
+    save_features,
+    save_objects,
+)
+from repro.errors import DatasetError
+from repro.geometry.rect import Rect
+from repro.shard.partitioner import ShardSpec
+
+MANIFEST_NAME = "manifest.json"
+#: Bumped when the on-disk layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+def save_shards(specs: list[ShardSpec], directory: str) -> str:
+    """Write a shard partition to ``directory``; returns the manifest path.
+
+    ``inf`` halo radii (full replication) are stored as ``null`` — JSON
+    has no infinity literal.
+    """
+    if not specs:
+        raise DatasetError("no shard specs to save")
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "type": "meta",
+        "kind": "shards",
+        "version": MANIFEST_VERSION,
+        "shards": [],
+    }
+    for spec in specs:
+        shard_dir = os.path.join(directory, f"shard-{spec.shard_id}")
+        os.makedirs(shard_dir, exist_ok=True)
+        objects_file = os.path.join(shard_dir, "objects.jsonl")
+        save_objects(spec.objects, objects_file)
+        feature_files = []
+        for i, feature_set in enumerate(spec.feature_sets):
+            feature_file = os.path.join(shard_dir, f"features-{i}.jsonl")
+            save_features(feature_set, feature_file)
+            feature_files.append(os.path.relpath(feature_file, directory))
+        manifest["shards"].append(
+            {
+                "shard_id": spec.shard_id,
+                "bbox": [list(spec.bbox.low), list(spec.bbox.high)],
+                "radius": None if math.isinf(spec.radius) else spec.radius,
+                "objects": os.path.relpath(objects_file, directory),
+                "features": feature_files,
+                "counts": {
+                    "objects": spec.n_objects,
+                    "features": [len(fs) for fs in spec.feature_sets],
+                },
+            }
+        )
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return manifest_path
+
+
+def load_shards(directory: str) -> list[ShardSpec]:
+    """Read a partition written by :func:`save_shards`.
+
+    Validates the manifest's version and per-shard record counts against
+    the data files, so a truncated or hand-edited partition fails loudly
+    instead of silently dropping objects.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise DatasetError(f"no shard manifest at {manifest_path}")
+    with open(manifest_path, encoding="utf-8") as fh:
+        try:
+            manifest = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"{manifest_path}: malformed JSON ({exc})"
+            ) from exc
+    if manifest.get("kind") != "shards":
+        raise DatasetError(f"{manifest_path}: not a shard manifest")
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise DatasetError(
+            f"{manifest_path}: unsupported manifest version {version!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    specs: list[ShardSpec] = []
+    for entry in manifest.get("shards", []):
+        low, high = entry["bbox"]
+        radius = entry["radius"]
+        objects = load_objects(os.path.join(directory, entry["objects"]))
+        feature_sets = [
+            load_features(os.path.join(directory, rel))
+            for rel in entry["features"]
+        ]
+        counts = entry.get("counts", {})
+        if counts:
+            if counts.get("objects") != len(objects):
+                raise DatasetError(
+                    f"shard {entry['shard_id']}: manifest says "
+                    f"{counts.get('objects')} objects, file has "
+                    f"{len(objects)}"
+                )
+            expected = counts.get("features", [])
+            actual = [len(fs) for fs in feature_sets]
+            if expected != actual:
+                raise DatasetError(
+                    f"shard {entry['shard_id']}: manifest says feature "
+                    f"counts {expected}, files have {actual}"
+                )
+        specs.append(
+            ShardSpec(
+                shard_id=entry["shard_id"],
+                bbox=Rect(tuple(low), tuple(high)),
+                radius=math.inf if radius is None else float(radius),
+                objects=objects,
+                feature_sets=feature_sets,
+            )
+        )
+    if not specs:
+        raise DatasetError(f"{manifest_path}: manifest lists no shards")
+    return specs

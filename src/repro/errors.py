@@ -61,3 +61,16 @@ class QueryError(ReproError):
 
 class DatasetError(ReproError):
     """Malformed or inconsistent dataset input."""
+
+
+class ShardError(ReproError):
+    """Failure inside the sharded engine (partitioning or shard worker).
+
+    Wraps unexpected per-shard worker exceptions with the shard id so a
+    batch can report *which* shard of *which* query failed; library
+    errors (:class:`QueryError` etc.) propagate unwrapped.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id

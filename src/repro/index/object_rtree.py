@@ -164,13 +164,17 @@ class ObjectRTree(RTreeBase):
         limit: int,
         floor: float = float("-inf"),
         skip: Callable[[int], bool] | None = None,
+        ties: bool = False,
     ) -> list[tuple[float, ObjectLeafEntry]]:
         """Top-``limit`` objects by a decreasing-bound score function.
 
         ``node_bound(rect)`` must upper-bound ``point_score(x, y)`` for
         every point in ``rect``.  Stops early once the best remaining bound
         falls to ``floor`` or below.  ``skip`` filters object ids (used to
-        ignore already-collected objects).
+        ignore already-collected objects).  With ``ties`` the search keeps
+        draining entries that *tie* the ``limit``-th best score (so the
+        caller can apply a deterministic tie-break over the full tie set);
+        without it, tied objects past ``limit`` are cut in heap order.
         """
         if self.root_id is None or limit <= 0:
             return []
@@ -193,7 +197,11 @@ class ObjectRTree(RTreeBase):
                     heapq.heappush(heap, (-score, counter, e))
 
         push_node(root)
-        while heap and len(results) < limit:
+        while heap:
+            if len(results) >= limit and (
+                not ties or -heap[0][0] < results[limit - 1][0]
+            ):
+                break
             neg_score, _, entry = heapq.heappop(heap)
             if -neg_score <= floor:
                 break

@@ -1,0 +1,499 @@
+"""Sharded parallel query engine: partition, fan out, merge.
+
+A :class:`ShardedQueryProcessor` owns one
+:class:`~repro.core.processor.QueryProcessor` per spatial shard (built
+from a :func:`~repro.shard.partitioner.partition` of the datasets) and
+answers exactly the same queries as an unsharded processor:
+
+1. **bound** — each shard advertises a per-query upper bound
+   ``Σ_i max ŝ_i(shard)`` computed from its feature-tree roots (one node
+   read per set, no traversal);
+2. **fan out** — shards run in descending bound order on a worker pool
+   (``shard.fanout`` span), each executing the ordinary per-shard
+   algorithm with the *merged k-th score so far* as a floor, so later
+   shards terminate as soon as they fall out of contention;
+3. **prune** — a shard whose bound is strictly below the merged k-th
+   score is skipped entirely (``repro_shard_queries{outcome="pruned"}``);
+4. **merge** — per-shard top-k heaps are merged with the library-wide
+   deterministic tie-break (score desc, oid asc; ``shard.merge`` span).
+
+Exactness argument (DESIGN.md §10): objects are partitioned, features
+are halo-replicated, so every object's score is computed by exactly one
+shard from a feature view sufficient for the supported query shape; the
+floor/prune cuts only ever drop items *strictly* below the final global
+k-th score.  Results — ids and scores — are therefore identical to the
+unsharded processor for every supported query, independent of shard
+count, worker count, and pruning outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+
+import heapq
+import os
+
+from repro.core.combinations import PULL_PRIORITIZED
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.results import QueryResult, QueryStats, rank_items
+from repro.core.stds import DEFAULT_BATCH_SIZE
+from repro.errors import QueryError, ReproError, ShardError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.shard.partitioner import ShardSpec, partition
+
+#: Per-shard execution outcomes, labeled by algorithm and outcome
+#: (``executed`` / ``pruned`` / ``failed``).
+SHARD_QUERIES = _metrics.registry().counter(
+    "repro_shard_queries",
+    "Per-shard query executions by outcome.",
+    ("algorithm", "outcome"),
+)
+#: Wall time of the whole fan-out (bounds + dispatch + gather) per query.
+SHARD_FANOUT_SECONDS = _metrics.registry().histogram(
+    "repro_shard_fanout_seconds",
+    "Fan-out wall time of one sharded query.",
+    ("algorithm",),
+)
+
+
+class _GlobalTopK:
+    """Thread-safe running k-th-best score across completed shards.
+
+    ``floor()`` returns the merged k-th best score once at least ``k``
+    items have been offered (``-inf`` before that) — a valid lower bound
+    on the final global k-th score because offered items are a subset of
+    all candidates.
+    """
+
+    __slots__ = ("_k", "_heap", "_lock")
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._heap: list[float] = []  # min-heap of the best k scores
+        self._lock = Lock()
+
+    def offer(self, scores) -> None:
+        with self._lock:
+            heap = self._heap
+            for score in scores:
+                if len(heap) < self._k:
+                    heapq.heappush(heap, score)
+                elif score > heap[0]:
+                    heapq.heapreplace(heap, score)
+
+    def floor(self) -> float:
+        with self._lock:
+            if len(self._heap) < self._k:
+                return -math.inf
+            return self._heap[0]
+
+
+class _Shard:
+    """A spec plus the per-shard query processor built from it."""
+
+    __slots__ = ("spec", "processor")
+
+    def __init__(self, spec: ShardSpec, processor: QueryProcessor) -> None:
+        self.spec = spec
+        self.processor = processor
+
+    def bound(self, query: PreferenceQuery) -> float:
+        """``Σ_i max ŝ_i`` over this shard's feature roots.
+
+        ``ŝ(e)`` upper-bounds every descendant feature's preference score
+        (Section 4.2), a feature's preference score upper-bounds its
+        contribution under *every* variant (range/nearest use it
+        directly; influence multiplies by ``2^{-d/r} <= 1``), and
+        ``τ(p) = Σ_i τ_i(p)`` — so no object in this shard can beat the
+        sum of the per-set root maxima.  One cached node read per set.
+        """
+        total = 0.0
+        for tree, mask in zip(
+            self.processor.feature_trees, query.keyword_masks
+        ):
+            if tree.root_id is None or tree.count == 0:
+                continue
+            scorer = tree.make_scorer(mask, query.lam)
+            best = 0.0
+            for entry in tree.root_node().entries:
+                if scorer.relevant(entry):
+                    value = scorer.bound(entry)
+                    if value > best:
+                        best = value
+            total += best
+        return total
+
+
+class ShardedQueryProcessor:
+    """Drop-in :class:`QueryProcessor` replacement over spatial shards.
+
+    Build it from raw datasets::
+
+        sharded = ShardedQueryProcessor.build(
+            objects, feature_sets, shards=4, radius=0.02
+        )
+        result = sharded.query(query)            # == unsharded result
+
+    ``radius`` is the largest query radius the halo supports; build with
+    ``replication="full"`` to serve the influence / nearest variants
+    (whose scores have unbounded spatial support).  The processor is
+    duck-type compatible with :class:`~repro.core.executor.QueryExecutor`
+    (``query``/``query_many``/``trees``/``clear_buffers``/``reset_stats``),
+    so batch routing reuses the executor machinery unchanged.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[_Shard],
+        radius: float,
+        max_workers: int | None = None,
+    ) -> None:
+        if not shards:
+            raise ShardError(-1, "need at least one shard")
+        self.shards = list(shards)
+        self.radius = radius
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        objects: ObjectDataset,
+        feature_sets: Sequence[FeatureDataset],
+        shards: int = 4,
+        radius: float = 0.05,
+        method: str = "grid",
+        replication: str = "halo",
+        index: str = "srt",
+        page_size: int = 4096,
+        buffer_pages: int = 256,
+        build_method: str = "bulk",
+        max_workers: int | None = None,
+    ) -> "ShardedQueryProcessor":
+        """Partition the datasets and build one processor per shard."""
+        specs = partition(
+            objects,
+            feature_sets,
+            shards,
+            radius,
+            method=method,
+            replication=replication,
+        )
+        return cls.from_specs(
+            specs,
+            index=index,
+            page_size=page_size,
+            buffer_pages=buffer_pages,
+            build_method=build_method,
+            max_workers=max_workers,
+        )
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[ShardSpec],
+        index: str = "srt",
+        page_size: int = 4096,
+        buffer_pages: int = 256,
+        build_method: str = "bulk",
+        max_workers: int | None = None,
+    ) -> "ShardedQueryProcessor":
+        """Build from pre-partitioned specs (e.g. loaded from disk)."""
+        if not specs:
+            raise ShardError(-1, "no shard specs given")
+        built = [
+            _Shard(
+                spec,
+                QueryProcessor.build(
+                    spec.objects,
+                    spec.feature_sets,
+                    index=index,
+                    page_size=page_size,
+                    buffer_pages=buffer_pages,
+                    method=build_method,
+                ),
+            )
+            for spec in specs
+        ]
+        radius = min(spec.radius for spec in specs)
+        return cls(built, radius, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def specs(self) -> list[ShardSpec]:
+        return [s.spec for s in self.shards]
+
+    def describe(self) -> dict:
+        """JSON-friendly partition summary."""
+        return {
+            "shards": self.shard_count,
+            "radius": None if math.isinf(self.radius) else self.radius,
+            "replication": "full" if math.isinf(self.radius) else "halo",
+            "layout": [s.spec.describe() for s in self.shards],
+        }
+
+    def close(self) -> None:
+        """Shut the fan-out pool down; subsequent queries raise."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedQueryProcessor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def trees(self):
+        """Every index of every shard (executor I/O attribution)."""
+        out = []
+        for shard in self.shards:
+            out.extend(shard.processor.trees())
+        return out
+
+    def clear_buffers(self) -> dict[str, int]:
+        """Drop cached pages/nodes in every shard (cold-cache runs)."""
+        dropped = {"pages": 0, "nodes": 0}
+        for shard in self.shards:
+            shard_dropped = shard.processor.clear_buffers()
+            dropped["pages"] += shard_dropped["pages"]
+            dropped["nodes"] += shard_dropped["nodes"]
+        return dropped
+
+    def reset_stats(self, metrics: bool = True) -> None:
+        """Zero per-index counters in every shard (and the registry once)."""
+        for shard in self.shards:
+            shard.processor.reset_stats(metrics=False)
+        if metrics:
+            _metrics.registry().reset()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: PreferenceQuery,
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        floor: float = float("-inf"),
+    ) -> QueryResult:
+        """Execute one query across all shards; results match unsharded.
+
+        ``floor`` composes with the internal cross-shard threshold (the
+        larger of the two wins), so a sharded processor can itself sit
+        behind another merger.
+        """
+        if self._closed:
+            raise ShardError(-1, "sharded processor is closed")
+        self._check_supported(query)
+        t0 = time.perf_counter()
+        rec = _tracing.recorder()
+        merger = _GlobalTopK(query.k)
+        results: list[QueryResult] = []
+
+        with rec.span("shard.fanout", shards=self.shard_count):
+            ordered = sorted(
+                ((shard.bound(query), i) for i, shard in
+                 enumerate(self.shards)),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            run = self._make_runner(
+                query, algorithm, pulling, batch_size, parallelism,
+                floor, merger,
+            )
+            workers = self._effective_workers()
+            if workers <= 1 or self.shard_count == 1:
+                outcomes = [run(bound, idx) for bound, idx in ordered]
+            else:
+                pool = self._ensure_pool(workers)
+                futures = [
+                    pool.submit(run, bound, idx) for bound, idx in ordered
+                ]
+                outcomes = [f.result() for f in futures]
+            results = [r for r in outcomes if r is not None]
+        fanout_s = time.perf_counter() - t0
+        SHARD_FANOUT_SECONDS.labels(algorithm=algorithm).observe(fanout_s)
+
+        with rec.span("shard.merge"):
+            candidates = [
+                (item.score, item.oid, item.x, item.y)
+                for result in results
+                for item in result.items
+            ]
+            items = rank_items(candidates, query.k)
+
+        stats = _merge_stats(results)
+        stats.wall_s = time.perf_counter() - t0
+        for phase, seconds in rec.totals().items():
+            stats.phase_times[phase] = (
+                stats.phase_times.get(phase, 0.0) + seconds
+            )
+        return QueryResult(items, stats)
+
+    def query_many(
+        self,
+        queries,
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        max_workers: int = 4,
+        dedup: bool = True,
+        on_error: str = "raise",
+    ) -> list[QueryResult]:
+        """Batch execution through the shared executor machinery.
+
+        Each entry runs :meth:`query` (shard fan-out included) on a
+        :class:`~repro.core.executor.QueryExecutor` pool; the executor's
+        dedup/failure handling applies unchanged — with
+        ``on_error="return"``, a failing query (e.g. a
+        :class:`~repro.errors.ShardError` from one shard) yields ``None``
+        at its position without touching the rest of the batch.
+        """
+        from repro.core.executor import QueryExecutor
+
+        with QueryExecutor(self, max_workers=max_workers) as executor:
+            return executor.query_many(
+                queries,
+                algorithm=algorithm,
+                pulling=pulling,
+                batch_size=batch_size,
+                parallelism=parallelism,
+                dedup=dedup,
+                on_error=on_error,
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_supported(self, query: PreferenceQuery) -> None:
+        n_sets = len(self.shards[0].processor.feature_trees)
+        if query.c != n_sets:
+            raise QueryError(
+                f"query addresses {query.c} feature sets, processor has "
+                f"{n_sets}"
+            )
+        if math.isinf(self.radius):
+            return  # full replication serves every variant and radius
+        if query.variant is not Variant.RANGE:
+            raise QueryError(
+                f"halo-replicated shards only serve the range variant "
+                f"({query.variant.value} scores have unbounded spatial "
+                "support); rebuild with replication='full'"
+            )
+        if query.radius > self.radius:
+            raise QueryError(
+                f"query radius {query.radius} exceeds the shard halo "
+                f"radius {self.radius}; rebuild the partition with a "
+                "larger radius"
+            )
+
+    def _make_runner(
+        self, query, algorithm, pulling, batch_size, parallelism,
+        external_floor, merger,
+    ):
+        def run(bound: float, idx: int):
+            shard = self.shards[idx]
+            floor = max(merger.floor(), external_floor)
+            if math.isfinite(floor) and bound < floor:
+                # No object in this shard can reach the merged top-k
+                # (ties at the floor are NOT pruned: bound == floor
+                # still executes so oid tie-breaks see every candidate).
+                SHARD_QUERIES.labels(
+                    algorithm=algorithm, outcome="pruned"
+                ).inc()
+                return None
+            rec = _tracing.recorder()
+            try:
+                with rec.span(
+                    "shard.query", shard=shard.spec.shard_id, bound=bound
+                ):
+                    result = shard.processor.query(
+                        query,
+                        algorithm=algorithm,
+                        pulling=pulling,
+                        batch_size=batch_size,
+                        parallelism=parallelism,
+                        floor=floor,
+                    )
+            except ReproError:
+                SHARD_QUERIES.labels(
+                    algorithm=algorithm, outcome="failed"
+                ).inc()
+                raise
+            except Exception as exc:  # noqa: BLE001 — wrapped with context
+                SHARD_QUERIES.labels(
+                    algorithm=algorithm, outcome="failed"
+                ).inc()
+                raise ShardError(
+                    shard.spec.shard_id, f"{type(exc).__name__}: {exc}"
+                ) from exc
+            merger.offer(item.score for item in result.items)
+            SHARD_QUERIES.labels(
+                algorithm=algorithm, outcome="executed"
+            ).inc()
+            return result
+
+        return run
+
+    def _effective_workers(self) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, min(self.shard_count, os.cpu_count() or 1))
+
+    def _ensure_pool(self, workers: int) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise ShardError(-1, "sharded processor is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+            return self._pool
+
+
+def _merge_stats(results: Sequence[QueryResult]) -> QueryStats:
+    """Sum per-shard cost counters into one workload-level view."""
+    stats = QueryStats()
+    for result in results:
+        s = result.stats
+        stats.io_reads += s.io_reads
+        stats.buffer_hits += s.buffer_hits
+        stats.node_cache_hits += s.node_cache_hits
+        stats.node_cache_misses += s.node_cache_misses
+        stats.io_time_s += s.io_time_s
+        stats.combinations += s.combinations
+        stats.features_pulled += s.features_pulled
+        stats.objects_scored += s.objects_scored
+        stats.heap_pops += s.heap_pops
+        stats.nodes_expanded += s.nodes_expanded
+        stats.voronoi_io_reads += s.voronoi_io_reads
+        stats.voronoi_cpu_s += s.voronoi_cpu_s
+        stats.voronoi_io_time_s += s.voronoi_io_time_s
+        for phase, seconds in s.phase_times.items():
+            stats.phase_times[phase] = (
+                stats.phase_times.get(phase, 0.0) + seconds
+            )
+    return stats

@@ -1,0 +1,26 @@
+"""Differential-suite configuration: deterministic hypothesis profile.
+
+The suite must behave identically on every run and machine (CI compares
+it across Python versions), so the ``differential`` profile derandomizes
+hypothesis: examples are derived from the test function itself, not from
+a per-run RNG seed.  ``deadline=None`` because a single example builds
+R-trees — wall time varies far too much for hypothesis' per-example
+deadline heuristics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "differential",
+    derandomize=True,
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+settings.load_profile("differential")

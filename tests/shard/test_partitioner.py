@@ -1,0 +1,222 @@
+"""Unit tests for the spatial partitioner and halo replication."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ShardError
+from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.model.objects import DataObject, FeatureObject
+from repro.shard import (
+    PARTITION_METHODS,
+    ShardSpec,
+    grid_factors,
+    grid_regions,
+    kd_split,
+    partition,
+)
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import make_data_objects, make_feature_objects
+
+VOCAB = Vocabulary(f"kw{i}" for i in range(8))
+
+
+def _objects(n=60, seed=5) -> ObjectDataset:
+    return ObjectDataset(make_data_objects(n, seed=seed))
+
+
+def _features(n=40, seed=6) -> FeatureDataset:
+    return FeatureDataset(
+        make_feature_objects(n, seed=seed, vocab_size=len(VOCAB)),
+        VOCAB,
+        "f",
+    )
+
+
+class TestGridLayout:
+    def test_factors_prefer_square(self):
+        assert grid_factors(1) == (1, 1)
+        assert grid_factors(4) == (2, 2)
+        assert grid_factors(6) == (3, 2)
+        assert grid_factors(12) == (4, 3)
+
+    def test_prime_degenerates_to_strips(self):
+        assert grid_factors(7) == (7, 1)
+
+    def test_regions_tile_domain_exactly(self):
+        from repro.geometry.rect import Rect
+
+        domain = Rect((0.0, 0.0), (1.0, 0.5))
+        cells = grid_regions(domain, 6)
+        assert len(cells) == 6
+        # Right/top edges of the last column/row are the exact domain
+        # edges, not accumulated float steps.
+        assert max(c.high[0] for c in cells) == 1.0
+        assert max(c.high[1] for c in cells) == 0.5
+        area = sum(
+            (c.high[0] - c.low[0]) * (c.high[1] - c.low[1]) for c in cells
+        )
+        assert area == pytest.approx(0.5)
+
+    def test_boundary_point_goes_to_upper_cell(self):
+        objects = ObjectDataset(
+            [
+                DataObject(0, 0.0, 0.0),
+                DataObject(1, 0.5, 0.5),  # exactly on both cut lines
+                DataObject(2, 1.0, 1.0),
+            ]
+        )
+        specs = partition(
+            objects, [], 4, 0.1, method="grid", drop_empty=False
+        )
+        by_shard = {s.shard_id: [o.oid for o in s.objects] for s in specs}
+        assert by_shard[0] == [0]
+        assert by_shard[3] == [1, 2]  # boundary point in the upper cell
+
+
+class TestKdLayout:
+    def test_counts_balanced(self):
+        objects = _objects(101)
+        specs = partition(objects, [], 4, 0.1, method="kd")
+        counts = sorted(s.n_objects for s in specs)
+        assert sum(counts) == 101
+        assert counts[-1] - counts[0] <= 2  # heavily balanced
+
+    def test_skewed_data_still_balanced(self):
+        # All mass in one corner — a grid would put everything in one
+        # cell; kd must still split ±1.
+        objects = ObjectDataset(
+            [DataObject(i, 0.001 * i, 0.001 * i) for i in range(40)]
+        )
+        specs = partition(objects, [], 8, 0.05, method="kd")
+        counts = sorted(s.n_objects for s in specs)
+        assert counts[0] >= 4 and counts[-1] <= 6
+
+    def test_single_member_does_not_crash(self):
+        objects = ObjectDataset([DataObject(0, 0.3, 0.7)])
+        specs = partition(objects, [], 4, 0.1, method="kd")
+        assert sum(s.n_objects for s in specs) == 1
+
+    def test_identical_coordinates(self):
+        objects = ObjectDataset([DataObject(i, 0.5, 0.5) for i in range(9)])
+        regions, buckets = kd_split(
+            list(objects), __import__(
+                "repro.geometry.rect", fromlist=["Rect"]
+            ).Rect((0.0, 0.0), (1.0, 1.0)), 3
+        )
+        assert len(regions) == 3
+        assert sum(len(b) for b in buckets) == 9
+
+
+class TestHaloReplication:
+    def test_halo_keeps_exactly_reachable_features(self):
+        # Domain = objects' bbox = [0.25, 0.75] x {0.5}; the 2-grid cuts
+        # it at x = 0.5.
+        objects = ObjectDataset(
+            [DataObject(0, 0.25, 0.5), DataObject(1, 0.75, 0.5)]
+        )
+        features = FeatureDataset(
+            [
+                FeatureObject(0, 0.45, 0.5, 1.0, frozenset({0})),  # inside
+                FeatureObject(1, 0.61, 0.5, 1.0, frozenset({0})),  # d=0.11
+                FeatureObject(2, 0.20, 0.5, 1.0, frozenset({0})),  # d=0.05
+            ],
+            VOCAB,
+            "f",
+        )
+        specs = partition(objects, [features], 2, 0.1, method="grid")
+        left = specs[0]
+        assert left.bbox.high[0] == pytest.approx(0.5)
+        kept = {f.fid for f in left.feature_sets[0]}
+        # mindist to the left cell: f0 -> 0, f1 -> 0.11 > r, f2 -> 0.05.
+        assert kept == {0, 2}
+
+    def test_full_replication_keeps_everything(self):
+        objects = _objects(30)
+        features = _features(20)
+        specs = partition(
+            objects, [features], 4, 0.05, replication="full"
+        )
+        for spec in specs:
+            assert math.isinf(spec.radius)
+            assert {f.fid for f in spec.feature_sets[0]} == {
+                f.fid for f in features
+            }
+
+    def test_objects_never_replicated(self):
+        objects = _objects(80)
+        for method in PARTITION_METHODS:
+            specs = partition(objects, [], 5, 0.1, method=method)
+            oids = [o.oid for s in specs for o in s.objects]
+            assert sorted(oids) == list(range(80))
+
+
+class TestValidation:
+    def test_bad_shard_count(self):
+        with pytest.raises(ShardError):
+            partition(_objects(), [], 0, 0.1)
+
+    def test_bad_method(self):
+        with pytest.raises(ShardError):
+            partition(_objects(), [], 2, 0.1, method="voronoi")
+
+    def test_bad_replication(self):
+        with pytest.raises(ShardError):
+            partition(_objects(), [], 2, 0.1, replication="partial")
+
+    @pytest.mark.parametrize("radius", [0.0, -1.0, math.inf, math.nan])
+    def test_bad_halo_radius(self, radius):
+        with pytest.raises(ShardError):
+            partition(_objects(), [], 2, radius)
+
+    def test_full_replication_ignores_radius(self):
+        specs = partition(
+            _objects(), [], 2, math.inf, replication="full"
+        )
+        assert len(specs) == 2
+
+
+class TestDropEmpty:
+    def test_empty_cells_dropped_and_renumbered(self):
+        # Objects only on the main diagonal: the off-diagonal cells of a
+        # 2x2 grid stay empty and are dropped; survivors get dense ids.
+        objects = ObjectDataset(
+            [DataObject(0, 0.1, 0.1), DataObject(1, 0.9, 0.9)]
+        )
+        specs = partition(objects, [], 4, 0.05, method="grid")
+        assert len(specs) == 2
+        assert [s.shard_id for s in specs] == [0, 1]
+
+    def test_empty_dataset_keeps_one_shard(self):
+        specs = partition(ObjectDataset([]), [_features(5)], 4, 0.1)
+        assert len(specs) == 1
+        assert specs[0].n_objects == 0
+
+    def test_drop_empty_off(self):
+        objects = ObjectDataset([DataObject(0, 0.1, 0.1)])
+        specs = partition(
+            objects, [], 4, 0.1, method="grid", drop_empty=False
+        )
+        assert len(specs) == 4
+
+
+class TestShardSpec:
+    def test_describe_is_json_friendly(self):
+        import json
+
+        spec = partition(_objects(10), [_features(5)], 2, 0.1)[0]
+        payload = json.dumps(spec.describe())
+        decoded = json.loads(payload)
+        assert decoded["shard_id"] == 0
+        assert decoded["objects"] == spec.n_objects
+        assert isinstance(spec, ShardSpec)
+        assert spec.n_features == len(spec.feature_sets[0])
+
+    def test_deterministic_rebuild(self):
+        objects, features = _objects(50), _features(30)
+        for method in PARTITION_METHODS:
+            a = partition(objects, [features], 4, 0.1, method=method)
+            b = partition(objects, [features], 4, 0.1, method=method)
+            assert [s.describe() for s in a] == [s.describe() for s in b]

@@ -41,7 +41,7 @@ from repro.core.processor import QueryProcessor
 from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
 from repro.data.workload import WorkloadSpec, make_workload
 from repro.shard import ShardedQueryProcessor
-from repro.shard.sharded_processor import SHARD_QUERIES
+from repro.shard.sharded_processor import shard_queries_metric
 
 
 def build_datasets(args):
@@ -81,8 +81,9 @@ def run_warm(processor, workload, algorithm: str) -> float:
 def shard_outcomes() -> dict[str, int]:
     """Aggregate the ``repro_shard_queries`` counter by outcome."""
     outcomes: dict[str, int] = {}
-    for labelvalues, child in SHARD_QUERIES.series():
-        outcome = dict(zip(SHARD_QUERIES.labelnames, labelvalues))[
+    family = shard_queries_metric()
+    for labelvalues, child in family.series():
+        outcome = dict(zip(family.labelnames, labelvalues))[
             "outcome"
         ]
         outcomes[outcome] = outcomes.get(outcome, 0) + int(child.value)

@@ -37,6 +37,7 @@ from repro.core.query import PreferenceQuery
 from repro.core.stream import FeatureStream, StreamedFeature
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
+from repro.obs import explain as _explain
 from repro.obs import tracing as _tracing
 
 _EPS = 1e-12
@@ -74,6 +75,7 @@ class CombinationIterator:
         enforce_2r: bool = True,
         pulling: str = PULL_PRIORITIZED,
         recorder=None,
+        collector=None,
     ) -> None:
         if len(feature_trees) != query.c:
             raise QueryError(
@@ -91,10 +93,18 @@ class CombinationIterator:
         self.recorder = (
             recorder if recorder is not None else _tracing.NULL_RECORDER
         )
+        # EXPLAIN collector: records pulling rounds with the τ value
+        # that justified each pull (Definition 5) and every combination
+        # accept/reject decision (Lemma 1).
+        self.collector = _explain.resolve(collector)
         self.c = query.c
         self.streams = [
-            FeatureStream(tree, mask, query.lam)
-            for tree, mask in zip(feature_trees, query.keyword_masks)
+            FeatureStream(
+                tree, mask, query.lam, collector=self.collector, set_id=i
+            )
+            for i, (tree, mask) in enumerate(
+                zip(feature_trees, query.keyword_masks)
+            )
         ]
         self.pulled: list[list[StreamedFeature]] = [[] for _ in range(self.c)]
         # Upper bound of each set's best score; tightened to the exact max
@@ -122,6 +132,7 @@ class CombinationIterator:
     def next(self) -> Combination | None:
         """Next combination by descending score, or None when done."""
         rec = self.recorder
+        collector = self.collector
         while True:
             with rec.span("stps.threshold_update"):
                 threshold = self._threshold()
@@ -131,6 +142,8 @@ class CombinationIterator:
                     self._expand(idx)
                     combo = self._materialize(idx)
                     valid = self._valid(combo)
+                if collector.active:
+                    collector.combination(combo.score, valid)
                 if valid:
                     self.combinations_released += 1
                     return combo
@@ -140,6 +153,13 @@ class CombinationIterator:
                 if self._heap:
                     continue  # threshold is -inf now; drain the heap
                 return None
+            if collector.active:
+                bound = self.streams[pull_from].next_bound
+                collector.pull(
+                    pull_from,
+                    threshold,
+                    bound if bound is not None else 0.0,
+                )
             with rec.span("stps.feature_pull", feature_set=pull_from):
                 self._pull(pull_from)
 

@@ -93,20 +93,35 @@ class QueryFailure:
     input batch (deduplicated batches execute each distinct query once;
     every duplicate position shares this failure).  ``error`` is the
     original exception object, ``message`` its rendered text.
+    ``trace_id`` is the id the failed execution ran under — grep it in
+    the Chrome trace, the flight-recorder dump, and the structured logs
+    to see everything the query did before dying.  ``shard_id`` is
+    filled from :class:`~repro.errors.ShardError` when the failure came
+    out of the sharded fan-out.
     """
 
     index: int
     query: PreferenceQuery
     error: BaseException
     message: str
+    trace_id: str = ""
+
+    @property
+    def shard_id(self) -> int | None:
+        """Failing shard for sharded-engine errors, else None."""
+        return getattr(self.error, "shard_id", None)
 
     def describe(self) -> dict:
         """JSON-friendly summary for logs and batch reports."""
-        return {
+        out = {
             "index": self.index,
             "error": type(self.error).__name__,
             "message": self.message,
+            "trace_id": self.trace_id,
         }
+        if self.shard_id is not None:
+            out["shard_id"] = self.shard_id
+        return out
 
 
 @dataclass(slots=True)
@@ -313,16 +328,24 @@ class QueryExecutor:
             positions = list(range(len(queries)))
 
         queue_wait_metric = QUEUE_WAIT_SECONDS.labels(algorithm=algorithm)
+        # Trace ids are minted *here*, before submission, so a failed
+        # execution's id is known even though the processor never got to
+        # return.  The worker closure re-enters the scope explicitly:
+        # ThreadPoolExecutor does not propagate contextvars to workers.
+        trace_ids = [_tracing.new_trace_id() for _ in to_run]
 
-        def run_one(query: PreferenceQuery, submitted: float) -> QueryResult:
+        def run_one(
+            query: PreferenceQuery, submitted: float, trace_id: str
+        ) -> QueryResult:
             started = time.perf_counter()
-            result = self.processor.query(
-                query,
-                algorithm=algorithm,
-                pulling=pulling,
-                batch_size=batch_size,
-                parallelism=parallelism,
-            )
+            with _tracing.trace_scope(trace_id):
+                result = self.processor.query(
+                    query,
+                    algorithm=algorithm,
+                    pulling=pulling,
+                    batch_size=batch_size,
+                    parallelism=parallelism,
+                )
             finished = time.perf_counter()
             queue_wait_metric.observe(started - submitted)
             if _timings is not None:
@@ -330,14 +353,16 @@ class QueryExecutor:
             return result
 
         futures = [
-            self._pool.submit(run_one, query, time.perf_counter())
-            for query in to_run
+            self._pool.submit(run_one, query, time.perf_counter(), trace_id)
+            for query, trace_id in zip(to_run, trace_ids)
         ]
         # Settle *every* future before deciding how to react: a failure
         # must not abandon (or cancel) the rest of the batch.
         results: list[QueryResult | None] = []
         failures: list[QueryFailure] = []
-        for pos, query, future in zip(positions, to_run, futures):
+        for pos, query, trace_id, future in zip(
+            positions, to_run, trace_ids, futures
+        ):
             exc = future.exception()
             if exc is None:
                 results.append(future.result())
@@ -348,7 +373,8 @@ class QueryExecutor:
             ).inc()
             failures.append(
                 QueryFailure(
-                    index=pos, query=query, error=exc, message=str(exc)
+                    index=pos, query=query, error=exc, message=str(exc),
+                    trace_id=trace_id,
                 )
             )
         if failures:

@@ -33,6 +33,7 @@ from repro.core.stps import record_features_pulled
 from repro.geometry.rect import Rect
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import explain as _explain
 from repro.obs import tracing as _tracing
 
 
@@ -42,6 +43,7 @@ def stps_influence(
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
     floor: float = -math.inf,
+    collector=None,
 ) -> QueryResult:
     """Run STPS for the influence score variant (Algorithm 5).
 
@@ -57,8 +59,10 @@ def stps_influence(
     )
     stats = QueryStats()
     rec = _tracing.recorder()
+    collector = _explain.resolve(collector)
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec
+        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec,
+        collector=collector,
     )
     best: dict[int, tuple[float, float, float]] = {}  # oid -> (score, x, y)
     k = query.k
@@ -97,6 +101,8 @@ def stps_influence(
             )
             < threshold
         ):
+            if collector.active:
+                collector.retrieval_skipped(combo.score)
             continue
         members = [
             (f.x, f.y, f.score) for f in combo.features if not f.is_virtual

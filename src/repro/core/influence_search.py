@@ -40,6 +40,7 @@ from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.nodes import FeatureLeafEntry, ObjectLeafEntry
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import explain as _explain
 from repro.obs import tracing as _tracing
 
 
@@ -47,6 +48,7 @@ def influence_search(
     object_tree: ObjectRTree,
     feature_trees: Sequence[FeatureTree],
     query: PreferenceQuery,
+    collector=None,
 ) -> QueryResult:
     """Exact top-k influence query without combination enumeration."""
     if query.variant is not Variant.INFLUENCE:
@@ -60,6 +62,7 @@ def influence_search(
         [object_tree.pagefile] + [t.pagefile for t in feature_trees]
     )
     stats = QueryStats()
+    collector = _explain.resolve(collector)
     scorers = [
         tree.make_scorer(mask, query.lam)
         for tree, mask in zip(feature_trees, query.keyword_masks)
@@ -119,6 +122,8 @@ def influence_search(
                             (entry.x, entry.y) if is_point else entry.rect,
                             is_point,
                         )
+                    if collector.active:
+                        collector.iss_probe(is_point)
                     if is_point:
                         stats.objects_scored += 1
                     push(entry, bound, True)

@@ -31,6 +31,7 @@ from repro.core.stps import record_features_pulled
 from repro.geometry.polygon import ConvexPolygon
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import explain as _explain
 from repro.obs import tracing as _tracing
 
 
@@ -40,6 +41,7 @@ def stps_nearest(
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
     floor: float = float("-inf"),
+    collector=None,
 ) -> QueryResult:
     """Run STPS for the nearest-neighbor score variant.
 
@@ -54,8 +56,10 @@ def stps_nearest(
     )
     stats = QueryStats()
     rec = _tracing.recorder()
+    collector = _explain.resolve(collector)
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec
+        feature_trees, query, enforce_2r=False, pulling=pulling, recorder=rec,
+        collector=collector,
     )
     scorers = [
         tree.make_scorer(mask, query.lam)
@@ -113,8 +117,14 @@ def stps_nearest(
                     unit_region,
                 )
                 cell_caches[i][feature.fid] = cell
+                if collector.active:
+                    collector.voronoi_cell(cache_hit=False)
+            elif collector.active:
+                collector.voronoi_cell(cache_hit=True)
             region = region.intersection(cell)
             if region.is_empty:
+                if collector.active:
+                    collector.voronoi_empty()
                 break
         vor_span.__exit__(None, None, None)
         stats.voronoi_cpu_s += time.perf_counter() - vor_t0

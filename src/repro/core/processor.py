@@ -36,6 +36,8 @@ from repro.index.irtree import IRTree
 from repro.index.object_rtree import ObjectRTree
 from repro.index.srt import SRTIndex
 from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.obs import explain as _explain
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
@@ -140,6 +142,7 @@ class QueryProcessor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
         floor: float = float("-inf"),
+        collector=None,
     ) -> QueryResult:
         """Execute a query with the chosen algorithm.
 
@@ -165,17 +168,43 @@ class QueryProcessor:
         :mod:`repro.obs.tracing`), wraps the execution in a
         ``query.<algorithm>`` span; ``result.stats.phase_times`` then
         carries the per-phase breakdown.
+
+        Each call runs under a *trace id* (a fresh one, or the ambient
+        id when called inside an active trace scope — the sharded
+        fan-out relies on this) stamped onto ``result.stats.trace_id``,
+        every trace span, any flight-recorder entry, and structured
+        logs, so all diagnostics for one query join on one key.
+
+        ``collector`` (a
+        :class:`~repro.obs.explain.DiagnosticsCollector`) turns on
+        EXPLAIN mode: the algorithm records per-feature-set node
+        accesses and prunes, combination accept/reject decisions, and
+        threshold trajectories into it.  Prefer :meth:`explain`, which
+        wraps this.  When None, the shared no-op collector is used and
+        the hot paths pay one attribute check.
         """
         t0 = time.perf_counter()
-        with _tracing.span(
-            f"query.{algorithm}",
-            variant=query.variant.value,
-            k=query.k,
-            c=query.c,
-        ):
-            result = self._dispatch(
-                query, algorithm, pulling, batch_size, parallelism, floor
-            )
+        trace_id = _tracing.current_trace_id() or _tracing.new_trace_id()
+        col = _explain.resolve(collector)
+        with _tracing.trace_scope(trace_id):
+            with _tracing.span(
+                f"query.{algorithm}",
+                variant=query.variant.value,
+                k=query.k,
+                c=query.c,
+            ):
+                try:
+                    result = self._dispatch(
+                        query, algorithm, pulling, batch_size, parallelism,
+                        floor, col,
+                    )
+                except Exception as exc:
+                    if _flight.enabled:
+                        _flight.record_error(
+                            query, algorithm, pulling, trace_id,
+                            time.perf_counter() - t0, exc,
+                        )
+                    raise
         elapsed = time.perf_counter() - t0
         labels = {
             "algorithm": algorithm,
@@ -190,7 +219,49 @@ class QueryProcessor:
             OBJECTS_SCORED_TOTAL.labels(**labels).inc(
                 result.stats.objects_scored
             )
+        result.stats.trace_id = trace_id
+        if col.active:
+            col.finalize(
+                query, algorithm, pulling, trace_id, elapsed, result.stats
+            )
+        if _flight.enabled:
+            _flight.maybe_record(
+                query, algorithm, pulling, trace_id, elapsed,
+                stats=result.stats,
+                plan=col.plan() if col.active else None,
+            )
         return result
+
+    def explain(
+        self,
+        query: PreferenceQuery,
+        algorithm: str = ALGORITHM_STPS,
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        floor: float = float("-inf"),
+    ) -> "_explain.ExplainReport":
+        """EXPLAIN ANALYZE: execute the query and return plan + result.
+
+        The returned :class:`~repro.obs.explain.ExplainReport` carries a
+        :class:`~repro.obs.explain.QueryPlan` — per-feature-set node
+        accesses vs. prunes with the ``ŝ(e)`` bound values, combinations
+        assembled vs. rejected by Lemma 1, the τ threshold trajectory
+        per pulling round — and the ordinary :class:`QueryResult` (the
+        query really executes; items are identical to :meth:`query`).
+        Render with ``report.plan.render()`` or ``report.plan.to_json()``.
+        """
+        collector = _explain.DiagnosticsCollector()
+        result = self.query(
+            query,
+            algorithm=algorithm,
+            pulling=pulling,
+            batch_size=batch_size,
+            parallelism=parallelism,
+            floor=floor,
+            collector=collector,
+        )
+        return _explain.ExplainReport(plan=collector.plan(), result=result)
 
     def _dispatch(
         self,
@@ -200,6 +271,7 @@ class QueryProcessor:
         batch_size: int,
         parallelism: int | None,
         floor: float = float("-inf"),
+        collector=_explain.NULL_COLLECTOR,
     ) -> QueryResult:
         """Route to the algorithm/variant implementation (uninstrumented)."""
         if algorithm == ALGORITHM_STDS:
@@ -210,12 +282,14 @@ class QueryProcessor:
                 batch_size=batch_size,
                 parallelism=parallelism,
                 floor=floor,
+                collector=collector,
             )
         if algorithm == ALGORITHM_ISS:
             from repro.core.influence_search import influence_search
 
             return influence_search(
-                self.object_tree, self.feature_trees, query
+                self.object_tree, self.feature_trees, query,
+                collector=collector,
             )
         if algorithm != ALGORITHM_STPS:
             raise QueryError(
@@ -225,15 +299,16 @@ class QueryProcessor:
         if query.variant is Variant.RANGE:
             return stps(
                 self.object_tree, self.feature_trees, query, pulling,
-                floor=floor,
+                floor=floor, collector=collector,
             )
         if query.variant is Variant.INFLUENCE:
             return stps_influence(
                 self.object_tree, self.feature_trees, query, pulling,
-                floor=floor,
+                floor=floor, collector=collector,
             )
         return stps_nearest(
-            self.object_tree, self.feature_trees, query, pulling, floor=floor
+            self.object_tree, self.feature_trees, query, pulling, floor=floor,
+            collector=collector,
         )
 
     def query_many(

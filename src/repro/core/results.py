@@ -43,6 +43,11 @@ class QueryStats:
     voronoi_io_reads: int = 0
     voronoi_cpu_s: float = 0.0
     voronoi_io_time_s: float = 0.0
+    #: Per-query trace id minted by the processor (see
+    #: :mod:`repro.obs.tracing`): the join key across Chrome-trace spans,
+    #: flight-recorder records, and structured logs.  Empty until the
+    #: processor stamps it.
+    trace_id: str = ""
     #: Per-phase wall seconds (span name -> total), populated when
     #: tracing is enabled (see :mod:`repro.obs.tracing`); empty otherwise.
     #: Phase names follow the span taxonomy of DESIGN.md §9.

@@ -52,6 +52,7 @@ from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.nodes import FeatureLeafEntry
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import explain as _explain
 from repro.obs import tracing as _tracing
 
 logger = logging.getLogger(__name__)
@@ -236,6 +237,8 @@ def compute_scores_batch(
     partial: dict[int, float] | None = None,
     threshold: float = -math.inf,
     remaining_sets: int = 0,
+    collector=_explain.NULL_COLLECTOR,
+    set_id: int = 0,
 ) -> dict[int, float]:
     """``τ_i(p)`` for a batch of objects in one index traversal.
 
@@ -336,7 +339,14 @@ def compute_scores_batch(
                 node = tree.read_node(entry.child)
                 if stats is not None:
                     stats.nodes_expanded += 1
+                if collector.active:
+                    collector.node_visited(set_id, -neg_bound)
                 push_node(node)
+            elif collector.active:
+                # The bound-prune of the batched expansion rule: the
+                # subtree's ŝ(e) is known (= -neg_bound) but no pending
+                # object is near its rectangle.
+                collector.node_pruned(set_id, -neg_bound)
     return scores
 
 
@@ -350,6 +360,7 @@ def stds(
     batch_size: int = DEFAULT_BATCH_SIZE,
     parallelism: int | None = None,
     floor: float = -math.inf,
+    collector=None,
 ) -> QueryResult:
     """Run STDS for any score variant.
 
@@ -384,6 +395,7 @@ def stds(
     )
     stats = QueryStats()
     rec = _tracing.recorder()
+    collector = _explain.resolve(collector)
 
     with rec.span("stds.scan_objects"):
         objects = _scan_objects(object_tree)
@@ -395,17 +407,18 @@ def stds(
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 candidates = _stds_range_batched(
                     feature_trees, query, objects, batch_size, stats, pool,
-                    rec=rec, floor=floor,
+                    rec=rec, floor=floor, collector=collector,
                 )
         else:
             candidates = _stds_range_batched(
                 feature_trees, query, objects, batch_size, stats, rec=rec,
-                floor=floor,
+                floor=floor, collector=collector,
             )
     else:
         with rec.span("stds.score_objects"):
             candidates = _stds_per_object(
-                feature_trees, query, objects, stats, floor=floor
+                feature_trees, query, objects, stats, floor=floor,
+                collector=collector,
             )
 
     stats.phase_times = rec.totals()
@@ -448,12 +461,14 @@ def _stds_range_batched(
     pool: ThreadPoolExecutor | None = None,
     rec=_tracing.NULL_RECORDER,
     floor: float = -math.inf,
+    collector=_explain.NULL_COLLECTOR,
 ) -> list[tuple[float, int, float, float]]:
     top: list[tuple[float, int]] = []  # min-heap by score
     threshold = floor
     candidates: list[tuple[float, int, float, float]] = []
     c = query.c
     debug = logger.isEnabledFor(logging.DEBUG)
+    trace_id = _tracing.current_trace_id()
 
     for start in range(0, len(objects), batch_size):
         chunk = objects[start : start + batch_size]
@@ -464,18 +479,27 @@ def _stds_range_batched(
             # Score the chunk against every feature set concurrently,
             # then replay the serial threshold fold below over the
             # precomputed values — the fold sees exactly the numbers the
-            # serial path would have computed.
+            # serial path would have computed.  The worker re-enters the
+            # caller's trace scope: ThreadPoolExecutor does not carry
+            # context across threads, and the spans recorded inside must
+            # join the query's trace id.
             def _scored(i, tree, pending=pending):
-                with rec.span(
-                    "stds.chunk_scan", feature_set=i, chunk=chunk_id
-                ):
-                    return compute_scores_batch(
-                        tree,
-                        query,
-                        query.keyword_masks[i],
-                        pending,
-                        stats,
-                    )
+                if trace_id is None:
+                    with rec.span(
+                        "stds.chunk_scan", feature_set=i, chunk=chunk_id
+                    ):
+                        return compute_scores_batch(
+                            tree, query, query.keyword_masks[i], pending,
+                            stats, collector=collector, set_id=i,
+                        )
+                with _tracing.trace_scope(trace_id):
+                    with rec.span(
+                        "stds.chunk_scan", feature_set=i, chunk=chunk_id
+                    ):
+                        return compute_scores_batch(
+                            tree, query, query.keyword_masks[i], pending,
+                            stats, collector=collector, set_id=i,
+                        )
 
             futures = [
                 pool.submit(_scored, i, tree)
@@ -502,6 +526,8 @@ def _stds_range_batched(
                         partial=partial,
                         threshold=threshold,
                         remaining_sets=remaining_sets,
+                        collector=collector,
+                        set_id=i,
                     )
             if remaining_sets == 0:
                 # Last feature set: no survivor set to build.
@@ -520,6 +546,8 @@ def _stds_range_batched(
                 # (score desc, oid asc) tie-break sees it.
                 if total + remaining_sets > drop_cut:
                     survivors[oid] = loc
+            if collector.active:
+                collector.objects_dropped(len(pending) - len(survivors))
             pending = survivors
         with rec.span("stds.threshold_fold", chunk=chunk_id):
             for oid, x, y in chunk:
@@ -531,6 +559,8 @@ def _stds_range_batched(
                     heapq.heapreplace(top, (score, -oid))
                 if len(top) == query.k and top[0][0] > threshold:
                     threshold = top[0][0]
+        if collector.active:
+            collector.chunk(chunk_id, len(chunk), threshold)
         if debug:
             logger.debug(
                 "stds chunk %d: %d objects, threshold now %.6f",
@@ -562,6 +592,7 @@ def _stds_per_object(
     objects: list[tuple[int, float, float]],
     stats: QueryStats | None = None,
     floor: float = -math.inf,
+    collector=_explain.NULL_COLLECTOR,
 ) -> list[tuple[float, int, float, float]]:
     score_fn = {
         Variant.INFLUENCE: compute_score_influence,
@@ -579,6 +610,9 @@ def _stds_per_object(
                 # τ̂(p) strictly below the k-th score (epsilon-guarded so
                 # an exact tie at the cut always survives for the
                 # (score desc, oid asc) tie-break).
+                if collector.active:
+                    collector.early_termination()
+                    collector.objects_dropped()
                 break
             total += score_fn(tree, query, query.keyword_masks[i], (x, y), stats)
         else:
@@ -589,6 +623,9 @@ def _stds_per_object(
                 heapq.heapreplace(top, (total, -oid))
             if len(top) == query.k and top[0][0] > threshold:
                 threshold = top[0][0]
+    if collector.active:
+        # The per-object scan is a single logical chunk.
+        collector.chunk(0, len(objects), threshold)
     return candidates
 
 

@@ -20,6 +20,7 @@ from repro.core.results import QueryResult, QueryStats, StatsTracker, rank_items
 from repro.errors import QueryError
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import explain as _explain
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
@@ -47,6 +48,7 @@ def stps(
     query: PreferenceQuery,
     pulling: str = PULL_PRIORITIZED,
     floor: float = float("-inf"),
+    collector=None,
 ) -> QueryResult:
     """Run STPS for the range score variant (Definition 2).
 
@@ -67,8 +69,10 @@ def stps(
     )
     stats = QueryStats()
     rec = _tracing.recorder()
+    collector = _explain.resolve(collector)
     iterator = CombinationIterator(
-        feature_trees, query, enforce_2r=True, pulling=pulling, recorder=rec
+        feature_trees, query, enforce_2r=True, pulling=pulling, recorder=rec,
+        collector=collector,
     )
     seen: set[int] = set()
     collected: list[tuple[float, int, float, float]] = []

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.index.feature_tree import FeatureScorer, FeatureTree
 from repro.index.nodes import FeatureLeafEntry
+from repro.obs import explain as _explain
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +52,8 @@ class FeatureStream:
         query_mask: int,
         lam: float,
         emit_virtual: bool = True,
+        collector=None,
+        set_id: int = 0,
     ) -> None:
         self.tree = tree
         self.scorer: FeatureScorer = tree.make_scorer(query_mask, lam)
@@ -59,8 +62,16 @@ class FeatureStream:
         self._virtual_pending = emit_virtual
         self._exhausted = False
         self.pulled = 0
+        # EXPLAIN collector (repro.obs.explain): per-set node accesses
+        # and text prunes.  The null collector makes every call a no-op;
+        # hot loops check ``active`` first to skip the call entirely.
+        self.collector = _explain.resolve(collector)
+        self.set_id = set_id
         if tree.root_id is not None and tree.count > 0:
             root = tree.read_node(tree.root_id)
+            if self.collector.active:
+                # The root carries no entry bound; 1.0 is the score cap.
+                self.collector.node_visited(set_id, 1.0)
             self._push_children(root)
 
     # ------------------------------------------------------------------
@@ -68,12 +79,17 @@ class FeatureStream:
     # ------------------------------------------------------------------
     def next(self) -> StreamedFeature | None:
         """The next feature by descending score; ``∅`` last; then None."""
+        collector = self.collector
         while self._heap:
             neg_bound, _, entry = heapq.heappop(self._heap)
             if isinstance(entry, FeatureLeafEntry):
                 self.pulled += 1
+                if collector.active:
+                    collector.feature_pulled(self.set_id)
                 return StreamedFeature(entry.fid, entry.x, entry.y, -neg_bound)
             node = self.tree.read_node(entry.child)
+            if collector.active:
+                collector.node_visited(self.set_id, -neg_bound)
             self._push_children(node)
         if self._virtual_pending:
             self._virtual_pending = False
@@ -106,6 +122,7 @@ class FeatureStream:
     def _push_children(self, node) -> None:
         scorer = self.scorer
         heap = self._heap
+        collector = self.collector
         if node.is_leaf:
             arrays = self.tree.leaf_arrays(node)
             if arrays is not None:
@@ -114,6 +131,10 @@ class FeatureStream:
                 # are identical to the scalar loop below.
                 scores, relevant = scorer.leaf_score_arrays(arrays)
                 idx = relevant.nonzero()[0]
+                if collector.active:
+                    collector.entries_pruned(
+                        self.set_id, len(node.entries) - int(idx.size)
+                    )
                 if idx.size:
                     entries = node.entries
                     values = scores[idx].tolist()
@@ -129,6 +150,8 @@ class FeatureStream:
                     heapq.heappush(
                         heap, (-scorer.leaf_score(entry), self._counter, entry)
                     )
+                elif collector.active:
+                    collector.entries_pruned(self.set_id)
         else:
             for entry in node.entries:
                 if scorer.node_relevant(entry):
@@ -136,3 +159,7 @@ class FeatureStream:
                     heapq.heappush(
                         heap, (-scorer.node_bound(entry), self._counter, entry)
                     )
+                elif collector.active:
+                    # Text-irrelevant subtree (sim = 0): pruned without
+                    # a bound value — ŝ(e) is not computed for it.
+                    collector.node_pruned(self.set_id)

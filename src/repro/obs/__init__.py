@@ -11,8 +11,19 @@ vs. CPU time, combinations examined, feature objects pulled (Section
   trace-event JSON loadable in Perfetto;
 * :mod:`repro.obs.export` — Prometheus text exposition, JSON snapshots,
   and an optional stdlib ``http.server`` scrape endpoint;
+* :mod:`repro.obs.explain` — EXPLAIN/ANALYZE query plans: per-set node
+  accesses vs. prunes, combination accept/reject decisions, threshold
+  trajectories, per-shard fan-out verdicts
+  (``QueryProcessor.explain(...)``);
+* :mod:`repro.obs.flight` — a bounded ring buffer of slow/failed
+  queries (the flight recorder), dumpable to JSONL;
+* :mod:`repro.obs.slog` — structured JSON logging that stamps the
+  current trace id on every record;
+* :mod:`repro.obs.regress` — the perf-regression sentinel comparing
+  bench results against committed baselines;
 * ``python -m repro.obs`` — run a synthetic workload and emit a metrics
-  snapshot plus a trace file (see :mod:`repro.obs.cli`).
+  snapshot plus a trace file; subcommands ``explain`` and ``regress``
+  (see :mod:`repro.obs.cli`).
 
 Quick start::
 
@@ -31,7 +42,12 @@ from __future__ import annotations
 
 import logging
 
-from repro.obs import export, metrics, tracing
+from repro.obs import explain, export, flight, metrics, slog, tracing
+from repro.obs.explain import (
+    DiagnosticsCollector,
+    ExplainReport,
+    QueryPlan,
+)
 from repro.obs.export import (
     MetricsServer,
     render_prometheus,
@@ -43,15 +59,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     log_buckets,
     registry,
+    scoped_registry,
 )
 from repro.obs.tracing import (
     PhaseRecorder,
     chrome_trace,
+    current_trace_id,
     enabled_tracing,
+    new_trace_id,
     recorder,
     set_enabled,
     span,
     trace,
+    trace_scope,
     write_chrome_trace,
 )
 
@@ -59,21 +79,31 @@ logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DiagnosticsCollector",
+    "ExplainReport",
     "MetricsRegistry",
     "MetricsServer",
     "PhaseRecorder",
+    "QueryPlan",
     "chrome_trace",
+    "current_trace_id",
     "enabled_tracing",
+    "explain",
     "export",
+    "flight",
     "log_buckets",
     "metrics",
+    "new_trace_id",
     "recorder",
     "registry",
     "render_prometheus",
+    "scoped_registry",
     "set_enabled",
+    "slog",
     "snapshot",
     "span",
     "trace",
+    "trace_scope",
     "tracing",
     "write_chrome_trace",
     "write_json",

@@ -21,6 +21,13 @@ for overhead measurements).
 Run::
 
     PYTHONPATH=src python -m repro.obs --smoke --out-dir obs_out
+
+Two subcommands ride alongside the workload runner:
+
+* ``python -m repro.obs explain`` — EXPLAIN/ANALYZE one query against a
+  synthetic dataset and print the plan (table or ``--json``);
+* ``python -m repro.obs regress`` — the perf-regression sentinel (see
+  :mod:`repro.obs.regress`).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import logging
 import time
 from pathlib import Path
 
-from repro.obs import export, metrics, tracing
+from repro.obs import export, flight, metrics, tracing
 
 logger = logging.getLogger(__name__)
 
@@ -78,10 +85,81 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also record per-event cache-activity instants")
     parser.add_argument("--serve", type=int, default=None, metavar="PORT",
                         help="serve /metrics on PORT until interrupted")
+    parser.add_argument("--flight-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="record every query in the flight recorder "
+                             "(latency threshold 0) and dump JSONL here")
     parser.add_argument("--log-level", default=None,
                         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
                         help="configure stdlib logging to stderr")
     return parser
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs explain",
+        description="EXPLAIN/ANALYZE one query on a synthetic dataset.",
+    )
+    parser.add_argument("--algorithm", default="stps",
+                        choices=["stps", "stds", "iss"])
+    parser.add_argument("--pulling", default="prioritized",
+                        choices=["prioritized", "round_robin"])
+    parser.add_argument("--variant", default="range",
+                        choices=["range", "influence", "nearest"])
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--radius", type=float, default=0.02)
+    parser.add_argument("--objects", type=int, default=2000)
+    parser.add_argument("--features", type=int, default=1000,
+                        help="features per feature set")
+    parser.add_argument("--sets", type=int, default=2, help="feature sets")
+    parser.add_argument("--vocab", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="fan the query out over N shards (0 = unsharded)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the plan as JSON instead of a table")
+    return parser
+
+
+def run_explain(args) -> int:
+    """Build a synthetic dataset, EXPLAIN one query, print the plan."""
+    from repro.core.processor import QueryProcessor
+    from repro.core.query import Variant
+    from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
+    from repro.data.workload import WorkloadSpec, make_workload
+
+    objects = synthetic_objects(args.objects, seed=args.seed)
+    feature_sets = synthetic_feature_sets(
+        args.sets, args.features, args.vocab, seed=args.seed + 1
+    )
+    spec = WorkloadSpec(
+        n_queries=1, k=args.k, radius=args.radius, seed=args.seed + 7,
+    )
+    query = make_workload(feature_sets, spec)[0]
+    variant = Variant(args.variant)
+    if args.algorithm == "iss":
+        variant = Variant.INFLUENCE
+    query = query.with_variant(variant)
+
+    if args.shards > 0:
+        from repro.shard import ShardedQueryProcessor
+
+        processor = ShardedQueryProcessor.build(
+            objects, feature_sets, shards=args.shards,
+            radius=max(args.radius, 0.05),
+            replication="halo" if variant is Variant.RANGE else "full",
+        )
+        with processor:
+            report = processor.explain(
+                query, algorithm=args.algorithm, pulling=args.pulling
+            )
+    else:
+        processor = QueryProcessor.build(objects, feature_sets)
+        report = processor.explain(
+            query, algorithm=args.algorithm, pulling=args.pulling
+        )
+    print(report.plan.to_json() if args.json else report.plan.render())
+    return 0
 
 
 def _publish_index_gauges(processor, registry: metrics.MetricsRegistry) -> None:
@@ -174,6 +252,16 @@ def run_workload(args) -> dict:
 
 
 def main(argv=None) -> int:
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return run_explain(build_explain_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "regress":
+        from repro.obs import regress
+
+        return regress.main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.log_level:
         logging.basicConfig(
@@ -196,14 +284,24 @@ def main(argv=None) -> int:
     previous = tracing.set_enabled(
         not args.no_trace, verbose_events=args.verbose_trace
     )
+    if args.flight_out is not None:
+        flight.clear()
+        flight.configure(enabled_=True, latency_threshold_s=0.0)
     try:
         summary = run_workload(args)
     finally:
         tracing.set_enabled(previous)
+        if args.flight_out is not None:
+            flight.configure(enabled_=False)
 
     metrics_out.write_text(export.render_prometheus())
     export.write_json(json_out)
     print(f"wrote {metrics_out} and {json_out}")
+    if args.flight_out is not None:
+        flight.dump_jsonl(args.flight_out)
+        print(
+            f"wrote {args.flight_out} ({len(flight.records())} flight records)"
+        )
     if not args.no_trace:
         tracing.write_chrome_trace(trace_out)
         n_events = len(tracing.events())

@@ -1,0 +1,275 @@
+"""Slow-query flight recorder: a bounded in-memory ring of bad queries.
+
+Production triage needs the *specific* queries that blew the latency
+budget or raised, not aggregate histograms.  The flight recorder keeps
+the last :data:`DEFAULT_CAPACITY` offending queries in a ring buffer —
+each a :class:`QueryRecord` with the query arguments, latency, phase
+totals, counter-style stats, a plan summary when EXPLAIN was active, the
+trace id (join key against Chrome-trace spans and structured logs), and
+the error + ``shard_id`` for failures surfacing through the batch
+executor or the sharded fan-out.
+
+Recording is **disabled by default**: the processor checks the module
+:data:`enabled` flag once per query, so the off path costs one branch.
+Enable with::
+
+    from repro.obs import flight
+    flight.configure(enabled_=True, latency_threshold_s=0.050)
+
+and dump with ``flight.dump_jsonl(path)`` (one JSON object per line) or
+inspect ``flight.records()`` in-process.  The buffer is process-wide and
+thread-safe; capacity overflow evicts the oldest record (ring
+semantics), never blocks, and never raises into the query path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Ring capacity: old records are evicted once this many are buffered.
+DEFAULT_CAPACITY = 512
+
+#: Module flag, read on hot paths.  Mutate only via :func:`configure`.
+enabled = False
+
+_lock = threading.Lock()
+_buffer: deque = deque(maxlen=DEFAULT_CAPACITY)
+_latency_threshold_s = 0.0
+_total_recorded = 0
+_total_evicted = 0
+
+
+@dataclass(slots=True)
+class QueryRecord:
+    """One flight-recorder entry: a slow or failed query, in full."""
+
+    trace_id: str
+    #: Unix timestamp of record creation (wall clock, for correlation
+    #: with external logs).
+    ts: float
+    algorithm: str
+    variant: str
+    pulling: str
+    #: Query arguments: k, radius, lam, keyword masks, variant.
+    query: dict
+    latency_s: float
+    #: Per-phase wall seconds (empty unless tracing was on).
+    phase_times: dict = field(default_factory=dict)
+    #: Counter-style stats from ``QueryResult.stats``.
+    counters: dict = field(default_factory=dict)
+    #: Compact plan summary (present when EXPLAIN was active).
+    plan_summary: dict | None = None
+    #: ``{"type": ..., "message": ...}`` for failed queries, else None.
+    error: dict | None = None
+    #: Shard that produced the failure, when attributable.
+    shard_id: int | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "trace_id": self.trace_id,
+            "ts": self.ts,
+            "algorithm": self.algorithm,
+            "variant": self.variant,
+            "pulling": self.pulling,
+            "query": self.query,
+            "latency_s": self.latency_s,
+            "phase_times": self.phase_times,
+            "counters": self.counters,
+        }
+        if self.plan_summary is not None:
+            out["plan_summary"] = self.plan_summary
+        if self.error is not None:
+            out["error"] = self.error
+        if self.shard_id is not None:
+            out["shard_id"] = self.shard_id
+        return out
+
+
+def configure(
+    enabled_: bool | None = None,
+    latency_threshold_s: float | None = None,
+    capacity: int | None = None,
+) -> None:
+    """(Re)configure the recorder.
+
+    ``latency_threshold_s`` — queries at or above this latency are
+    recorded (0.0 records every query; errors are always recorded).
+    ``capacity`` resizes the ring, keeping the newest records.
+    """
+    global enabled, _latency_threshold_s, _buffer
+    with _lock:
+        if latency_threshold_s is not None:
+            _latency_threshold_s = max(0.0, float(latency_threshold_s))
+        if capacity is not None:
+            if capacity < 1:
+                raise ValueError(f"capacity must be >= 1, got {capacity}")
+            _buffer = deque(_buffer, maxlen=int(capacity))
+    if enabled_ is not None:
+        enabled = bool(enabled_)
+
+
+def latency_threshold() -> float:
+    return _latency_threshold_s
+
+
+def capacity() -> int:
+    return _buffer.maxlen or DEFAULT_CAPACITY
+
+
+def _query_args(query) -> dict:
+    return {
+        "k": query.k,
+        "radius": query.radius,
+        "lam": query.lam,
+        "keyword_masks": list(query.keyword_masks),
+        "variant": query.variant.value,
+    }
+
+
+def _stat_counters(stats) -> dict:
+    if stats is None:
+        return {}
+    return {
+        "combinations": stats.combinations,
+        "features_pulled": stats.features_pulled,
+        "objects_scored": stats.objects_scored,
+        "io_reads": stats.io_reads,
+        "buffer_hits": stats.buffer_hits,
+        "node_cache_hits": stats.node_cache_hits,
+        "node_cache_misses": stats.node_cache_misses,
+        "heap_pops": stats.heap_pops,
+        "nodes_expanded": stats.nodes_expanded,
+    }
+
+
+def _plan_summary(plan) -> dict:
+    """Compact plan digest — enough to triage without the full plan."""
+    summary: dict = {
+        "objects_scored": plan.objects_scored,
+        "combinations_released": plan.combinations_released,
+        "features_pulled": plan.features_pulled_total,
+    }
+    if plan.combinations is not None:
+        summary["combinations_rejected_2r"] = plan.combinations.rejected_2r
+        summary["pull_rounds"] = plan.combinations.pull_rounds
+    if plan.stds is not None:
+        summary["objects_dropped"] = plan.stds.objects_dropped
+    if plan.shards:
+        summary["shard_outcomes"] = plan.shard_outcomes()
+    return summary
+
+
+def _push(record: QueryRecord) -> None:
+    global _total_recorded, _total_evicted
+    with _lock:
+        if len(_buffer) == _buffer.maxlen:
+            _total_evicted += 1
+        _buffer.append(record)
+        _total_recorded += 1
+
+
+def maybe_record(
+    query,
+    algorithm: str,
+    pulling: str,
+    trace_id: str,
+    latency_s: float,
+    stats=None,
+    plan=None,
+) -> bool:
+    """Record a *successful* query iff it met the latency threshold.
+
+    Returns whether a record was written.  Never raises.
+    """
+    if not enabled or latency_s < _latency_threshold_s:
+        return False
+    variant = query.variant.value
+    _push(
+        QueryRecord(
+            trace_id=trace_id,
+            ts=time.time(),
+            algorithm=algorithm,
+            variant=variant,
+            pulling=pulling,
+            query=_query_args(query),
+            latency_s=latency_s,
+            phase_times=dict(stats.phase_times) if stats is not None else {},
+            counters=_stat_counters(stats),
+            plan_summary=_plan_summary(plan) if plan is not None else None,
+        )
+    )
+    return True
+
+
+def record_error(
+    query,
+    algorithm: str,
+    pulling: str,
+    trace_id: str,
+    latency_s: float,
+    error: BaseException,
+    shard_id: int | None = None,
+) -> bool:
+    """Record a failed query (errors bypass the latency threshold)."""
+    if not enabled:
+        return False
+    if shard_id is None:
+        shard_id = getattr(error, "shard_id", None)
+    _push(
+        QueryRecord(
+            trace_id=trace_id,
+            ts=time.time(),
+            algorithm=algorithm,
+            variant=query.variant.value,
+            pulling=pulling,
+            query=_query_args(query),
+            latency_s=latency_s,
+            error={"type": type(error).__name__, "message": str(error)},
+            shard_id=shard_id,
+        )
+    )
+    return True
+
+
+def records() -> list[QueryRecord]:
+    """Buffered records, oldest first (a copy)."""
+    with _lock:
+        return list(_buffer)
+
+
+def stats() -> dict:
+    """Recorder bookkeeping: buffered / total recorded / evicted."""
+    with _lock:
+        return {
+            "buffered": len(_buffer),
+            "capacity": _buffer.maxlen,
+            "total_recorded": _total_recorded,
+            "total_evicted": _total_evicted,
+            "enabled": enabled,
+            "latency_threshold_s": _latency_threshold_s,
+        }
+
+
+def dump_jsonl(path) -> Path:
+    """Write buffered records to ``path``, one JSON object per line."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in records():
+            fh.write(json.dumps(record.to_dict()) + "\n")
+    return path
+
+
+def clear() -> int:
+    """Drop all buffered records; returns how many were dropped."""
+    global _total_recorded, _total_evicted
+    with _lock:
+        n = len(_buffer)
+        _buffer.clear()
+        _total_recorded = 0
+        _total_evicted = 0
+    return n

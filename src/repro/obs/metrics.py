@@ -180,8 +180,17 @@ class Histogram:
         """Interpolated q-quantile (0 < q <= 1) from the bucket counts.
 
         Uses linear interpolation inside the target bucket (Prometheus'
-        ``histogram_quantile`` rule); returns 0.0 with no observations
-        and the top finite bound when the quantile falls in +Inf.
+        ``histogram_quantile`` rule).  Edge cases, matching Prometheus:
+
+        * no observations → ``0.0`` (there is no data to interpolate);
+        * the quantile falls in the implicit ``+Inf`` bucket → the top
+          *finite* bucket bound is returned (``+Inf`` itself would be
+          useless for alerting), or ``math.inf`` when the histogram was
+          declared with no finite buckets at all.  This means quantiles
+          are *clipped* at the largest finite bound: observations beyond
+          it are known to exist (``count``/``sum`` still include them)
+          but their magnitude is unrepresentable.  Size buckets so the
+          expected range is covered (see ``DEFAULT_LATENCY_BUCKETS``).
         """
         if not 0.0 < q <= 1.0:
             raise ReproError(f"quantile must be in (0, 1], got {q}")
@@ -393,9 +402,22 @@ class MetricsRegistry:
         with self._lock:
             return [self._families[n] for n in sorted(self._families)]
 
-    def reset(self) -> int:
-        """Zero every series; registrations survive.  Returns #families."""
-        families = self.families()
+    def reset(self, names: Iterable[str] | None = None) -> int:
+        """Zero series; registrations survive.  Returns #families reset.
+
+        With ``names`` given, only those families are reset (missing
+        names are ignored) — used by owners that must not clobber
+        unrelated instrumentation, e.g. the sharded processor resetting
+        only ``repro_shard_*``.  Without ``names``, every family is
+        reset.
+        """
+        if names is None:
+            families = self.families()
+        else:
+            with self._lock:
+                families = [
+                    self._families[n] for n in names if n in self._families
+                ]
         for family in families:
             family._reset()
         if families and logger.isEnabledFor(logging.DEBUG):
@@ -415,3 +437,47 @@ _DEFAULT_REGISTRY = MetricsRegistry()
 def registry() -> MetricsRegistry:
     """The process-wide default registry."""
     return _DEFAULT_REGISTRY
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one.
+
+    Only call sites that resolve ``registry()`` *lazily* (the shard
+    layer, the exporters, new instrumentation) follow the swap — module
+    handles bound at import time (e.g. ``repro.core.processor``'s
+    counters) keep writing to the registry that was current when their
+    module was imported.  Intended for test-scoped registries; see
+    :class:`scoped_registry`.
+    """
+    global _DEFAULT_REGISTRY
+    if not isinstance(new, MetricsRegistry):
+        raise ReproError(
+            f"set_registry expects a MetricsRegistry, got {type(new).__name__}"
+        )
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = new
+    return previous
+
+
+class scoped_registry:
+    """Context manager swapping in a fresh (or given) default registry.
+
+    ::
+
+        with metrics.scoped_registry() as reg:
+            sharded.query(q)          # shard metrics land in ``reg``
+            assert reg.get("repro_shard_queries") is not None
+    """
+
+    def __init__(self, reg: MetricsRegistry | None = None) -> None:
+        self.registry = reg if reg is not None else MetricsRegistry()
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        assert self._previous is not None
+        set_registry(self._previous)
+        return False

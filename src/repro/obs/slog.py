@@ -1,0 +1,119 @@
+"""Structured JSON logging that joins on the per-query trace id.
+
+A thin stdlib-``logging`` adapter: :class:`TraceIdFilter` stamps every
+record with the trace id active in the calling context (minted by
+``QueryProcessor.query``, propagated across executor workers and shard
+fan-out), and :class:`JsonFormatter` renders records as one JSON object
+per line — so ``grep trace_id logs.jsonl`` lines up with the same id in
+Chrome-trace spans (``args.trace_id``) and flight-recorder records.
+
+Usage::
+
+    from repro.obs import slog
+    slog.configure(level=logging.INFO)
+    log = logging.getLogger("repro.myapp")
+    log.info("floor raised", extra={"floor": 0.42})
+
+emits::
+
+    {"ts": ..., "level": "INFO", "logger": "repro.myapp",
+     "message": "floor raised", "trace_id": "9f2c...", "floor": 0.42}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from . import tracing as _tracing
+
+#: LogRecord attributes that are plumbing, not user payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "module", "msecs",
+        "msg", "message", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread",
+        "threadName", "trace_id",
+    )
+)
+
+
+class TraceIdFilter(logging.Filter):
+    """Stamps ``record.trace_id`` from the active query context.
+
+    Attach to a handler (or logger) so every record carries the join
+    key; records emitted outside any query get ``"-"``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            record.trace_id = _tracing.current_trace_id() or "-"
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, trace_id,
+    plus any ``extra=`` fields the call site attached."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "trace_id": getattr(record, "trace_id", "-"),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in out:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            out[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exc_type"] = record.exc_info[0].__name__
+            out["exc_message"] = str(record.exc_info[1])
+        return json.dumps(out)
+
+
+def configure(
+    level: int = logging.INFO,
+    stream=None,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Attach a JSON handler with trace-id stamping to ``logger_name``.
+
+    Idempotent per (logger, stream): a previous handler installed by
+    this function on the same logger is replaced, not duplicated.
+    Returns the handler (tests capture its stream).
+    """
+    logger = logging.getLogger(logger_name)
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_slog", False):
+            logger.removeHandler(existing)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_slog = True
+    handler.setFormatter(JsonFormatter())
+    handler.addFilter(TraceIdFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def teardown(logger_name: str = "repro") -> None:
+    """Remove handlers previously installed by :func:`configure`."""
+    logger = logging.getLogger(logger_name)
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_slog", False):
+            logger.removeHandler(existing)
+
+
+__all__ = [
+    "TraceIdFilter",
+    "JsonFormatter",
+    "configure",
+    "teardown",
+]

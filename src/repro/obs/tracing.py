@@ -35,12 +35,15 @@ per-phase wall-time breakdown whenever tracing is on.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import functools
 import json
 import logging
 import os
 import threading
 import time
+import uuid
 from pathlib import Path
 
 logger = logging.getLogger(__name__)
@@ -59,6 +62,41 @@ _events: list[dict] = []
 _dropped = 0
 _thread_names: dict[int, str] = {}
 _EPOCH = time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+# trace-id correlation
+# ----------------------------------------------------------------------
+#: Per-context trace id.  ``QueryProcessor.query`` mints one per query;
+#: spans, flight records, and structured logs all join on it.  Stored in
+#: a ContextVar so nested queries (sharded fan-out re-entering the
+#: per-shard processors) inherit the outer id automatically — but note
+#: ``ThreadPoolExecutor`` does *not* propagate context into workers, so
+#: cross-thread hops (batch executor, shard fan-out, parallel STDS)
+#: re-enter :func:`trace_scope` explicitly inside the worker closure.
+_trace_id_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace id active in this context, or None outside a query."""
+    return _trace_id_var.get()
+
+
+@contextlib.contextmanager
+def trace_scope(trace_id: str):
+    """Make ``trace_id`` the active id for the enclosed block."""
+    token = _trace_id_var.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _trace_id_var.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +149,13 @@ def _append(event: dict) -> None:
     tid = threading.get_ident()
     event["pid"] = os.getpid()
     event["tid"] = tid
+    trace_id = _trace_id_var.get()
+    if trace_id is not None:
+        args = event.get("args")
+        if args is None:
+            event["args"] = {"trace_id": trace_id}
+        elif "trace_id" not in args:
+            args["trace_id"] = trace_id
     with _lock:
         if len(_events) >= MAX_EVENTS:
             _dropped += 1

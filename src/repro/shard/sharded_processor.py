@@ -44,23 +44,45 @@ from repro.core.results import QueryResult, QueryStats, rank_items
 from repro.core.stds import DEFAULT_BATCH_SIZE
 from repro.errors import QueryError, ReproError, ShardError
 from repro.model.dataset import FeatureDataset, ObjectDataset
+from repro.obs import explain as _explain
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.shard.partitioner import ShardSpec, partition
 
-#: Per-shard execution outcomes, labeled by algorithm and outcome
-#: (``executed`` / ``pruned`` / ``failed``).
-SHARD_QUERIES = _metrics.registry().counter(
+#: Metric families owned by this module — the scope of
+#: :meth:`ShardedQueryProcessor.reset_stats`'s registry reset.
+SHARD_METRIC_FAMILIES = (
     "repro_shard_queries",
-    "Per-shard query executions by outcome.",
-    ("algorithm", "outcome"),
-)
-#: Wall time of the whole fan-out (bounds + dispatch + gather) per query.
-SHARD_FANOUT_SECONDS = _metrics.registry().histogram(
     "repro_shard_fanout_seconds",
-    "Fan-out wall time of one sharded query.",
-    ("algorithm",),
 )
+
+
+def shard_queries_metric() -> "_metrics.MetricFamily":
+    """Per-shard execution outcomes (``executed``/``pruned``/``failed``).
+
+    Resolved against the *current* default registry on every call —
+    deliberately not bound at import time, so a test-scoped registry
+    (:class:`repro.obs.metrics.scoped_registry`) sees shard metrics.
+    Callers on the query path resolve once per query, not per shard.
+    """
+    return _metrics.registry().counter(
+        "repro_shard_queries",
+        "Per-shard query executions by outcome.",
+        ("algorithm", "outcome"),
+    )
+
+
+def shard_fanout_seconds_metric() -> "_metrics.MetricFamily":
+    """Wall time of the whole fan-out (bounds + dispatch + gather).
+
+    Lazily resolved; see :func:`shard_queries_metric`.
+    """
+    return _metrics.registry().histogram(
+        "repro_shard_fanout_seconds",
+        "Fan-out wall time of one sharded query.",
+        ("algorithm",),
+    )
 
 
 class _GlobalTopK:
@@ -281,11 +303,19 @@ class ShardedQueryProcessor:
         return dropped
 
     def reset_stats(self, metrics: bool = True) -> None:
-        """Zero per-index counters in every shard (and the registry once)."""
+        """Zero per-index counters in every shard.
+
+        With ``metrics=True`` also zero the registry families this module
+        owns (``SHARD_METRIC_FAMILIES``) — and only those: a sharded
+        processor often coexists with an unsharded one (differential
+        harness, benchmarks), and wiping the whole registry here would
+        silently destroy the other engine's counters mid-comparison.
+        Callers wanting a full wipe use ``metrics.registry().reset()``.
+        """
         for shard in self.shards:
             shard.processor.reset_stats(metrics=False)
         if metrics:
-            _metrics.registry().reset()
+            _metrics.registry().reset(names=SHARD_METRIC_FAMILIES)
 
     # ------------------------------------------------------------------
     # execution
@@ -298,43 +328,61 @@ class ShardedQueryProcessor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int | None = None,
         floor: float = float("-inf"),
+        collector=None,
     ) -> QueryResult:
         """Execute one query across all shards; results match unsharded.
 
         ``floor`` composes with the internal cross-shard threshold (the
         larger of the two wins), so a sharded processor can itself sit
-        behind another merger.
+        behind another merger.  ``collector`` — an optional
+        :class:`~repro.obs.explain.DiagnosticsCollector`; each shard gets
+        a child collector and the parent plan records every shard's
+        verdict (pruned/executed/failed) with its bound and floor.
         """
         if self._closed:
             raise ShardError(-1, "sharded processor is closed")
         self._check_supported(query)
         t0 = time.perf_counter()
+        trace_id = _tracing.current_trace_id() or _tracing.new_trace_id()
         rec = _tracing.recorder()
+        col = _explain.resolve(collector)
         merger = _GlobalTopK(query.k)
         results: list[QueryResult] = []
 
-        with rec.span("shard.fanout", shards=self.shard_count):
-            ordered = sorted(
-                ((shard.bound(query), i) for i, shard in
-                 enumerate(self.shards)),
-                key=lambda pair: (-pair[0], pair[1]),
-            )
-            run = self._make_runner(
-                query, algorithm, pulling, batch_size, parallelism,
-                floor, merger,
-            )
-            workers = self._effective_workers()
-            if workers <= 1 or self.shard_count == 1:
-                outcomes = [run(bound, idx) for bound, idx in ordered]
-            else:
-                pool = self._ensure_pool(workers)
-                futures = [
-                    pool.submit(run, bound, idx) for bound, idx in ordered
-                ]
-                outcomes = [f.result() for f in futures]
-            results = [r for r in outcomes if r is not None]
+        try:
+            with _tracing.trace_scope(trace_id), rec.span(
+                "shard.fanout", shards=self.shard_count
+            ):
+                ordered = sorted(
+                    ((shard.bound(query), i) for i, shard in
+                     enumerate(self.shards)),
+                    key=lambda pair: (-pair[0], pair[1]),
+                )
+                run = self._make_runner(
+                    query, algorithm, pulling, batch_size, parallelism,
+                    floor, merger, col, trace_id,
+                )
+                workers = self._effective_workers()
+                if workers <= 1 or self.shard_count == 1:
+                    outcomes = [run(bound, idx) for bound, idx in ordered]
+                else:
+                    pool = self._ensure_pool(workers)
+                    futures = [
+                        pool.submit(run, bound, idx) for bound, idx in ordered
+                    ]
+                    outcomes = [f.result() for f in futures]
+                results = [r for r in outcomes if r is not None]
+        except Exception as exc:
+            if _flight.enabled:
+                _flight.record_error(
+                    query, f"sharded/{algorithm}", pulling, trace_id,
+                    time.perf_counter() - t0, exc,
+                )
+            raise
         fanout_s = time.perf_counter() - t0
-        SHARD_FANOUT_SECONDS.labels(algorithm=algorithm).observe(fanout_s)
+        shard_fanout_seconds_metric().labels(algorithm=algorithm).observe(
+            fanout_s
+        )
 
         with rec.span("shard.merge"):
             candidates = [
@@ -346,11 +394,49 @@ class ShardedQueryProcessor:
 
         stats = _merge_stats(results)
         stats.wall_s = time.perf_counter() - t0
+        stats.trace_id = trace_id
         for phase, seconds in rec.totals().items():
             stats.phase_times[phase] = (
                 stats.phase_times.get(phase, 0.0) + seconds
             )
+        if col.active:
+            col.finalize(
+                query, f"sharded/{algorithm}", pulling, trace_id,
+                stats.wall_s, stats,
+            )
+        if _flight.enabled:
+            _flight.maybe_record(
+                query, f"sharded/{algorithm}", pulling, trace_id,
+                stats.wall_s, stats=stats,
+                plan=col.plan() if col.active else None,
+            )
         return QueryResult(items, stats)
+
+    def explain(
+        self,
+        query: PreferenceQuery,
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+        floor: float = float("-inf"),
+    ) -> "_explain.ExplainReport":
+        """Run the query with diagnostics on; return plan + result.
+
+        The plan's shard section lists every shard's verdict, bound, and
+        floor at decision time; executed shards embed their own sub-plan.
+        """
+        collector = _explain.DiagnosticsCollector()
+        result = self.query(
+            query,
+            algorithm=algorithm,
+            pulling=pulling,
+            batch_size=batch_size,
+            parallelism=parallelism,
+            floor=floor,
+            collector=collector,
+        )
+        return _explain.ExplainReport(plan=collector.plan(), result=result)
 
     def query_many(
         self,
@@ -412,23 +498,33 @@ class ShardedQueryProcessor:
 
     def _make_runner(
         self, query, algorithm, pulling, batch_size, parallelism,
-        external_floor, merger,
+        external_floor, merger, col, trace_id,
     ):
+        # One registry resolution per query, shared by every shard runner
+        # (the handle itself is thread-safe).
+        outcomes = shard_queries_metric()
+
         def run(bound: float, idx: int):
             shard = self.shards[idx]
+            shard_id = shard.spec.shard_id
             floor = max(merger.floor(), external_floor)
             if math.isfinite(floor) and bound < floor:
                 # No object in this shard can reach the merged top-k
                 # (ties at the floor are NOT pruned: bound == floor
                 # still executes so oid tie-breaks see every candidate).
-                SHARD_QUERIES.labels(
-                    algorithm=algorithm, outcome="pruned"
-                ).inc()
+                outcomes.labels(algorithm=algorithm, outcome="pruned").inc()
+                if col.active:
+                    col.shard(shard_id, "pruned", bound, floor)
                 return None
             rec = _tracing.recorder()
+            sub = col.child(shard_id) if col.active else None
+            shard_t0 = time.perf_counter()
+            # Pool threads don't inherit the caller's contextvars —
+            # re-enter the trace scope so the per-shard query (and its
+            # spans, logs, flight records) carries the parent trace id.
             try:
-                with rec.span(
-                    "shard.query", shard=shard.spec.shard_id, bound=bound
+                with _tracing.trace_scope(trace_id), rec.span(
+                    "shard.query", shard=shard_id, bound=bound
                 ):
                     result = shard.processor.query(
                         query,
@@ -437,23 +533,36 @@ class ShardedQueryProcessor:
                         batch_size=batch_size,
                         parallelism=parallelism,
                         floor=floor,
+                        collector=sub,
                     )
-            except ReproError:
-                SHARD_QUERIES.labels(
-                    algorithm=algorithm, outcome="failed"
-                ).inc()
+            except ReproError as exc:
+                outcomes.labels(algorithm=algorithm, outcome="failed").inc()
+                if col.active:
+                    col.shard(
+                        shard_id, "failed", bound, floor,
+                        elapsed_s=time.perf_counter() - shard_t0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 raise
             except Exception as exc:  # noqa: BLE001 — wrapped with context
-                SHARD_QUERIES.labels(
-                    algorithm=algorithm, outcome="failed"
-                ).inc()
+                outcomes.labels(algorithm=algorithm, outcome="failed").inc()
+                if col.active:
+                    col.shard(
+                        shard_id, "failed", bound, floor,
+                        elapsed_s=time.perf_counter() - shard_t0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 raise ShardError(
-                    shard.spec.shard_id, f"{type(exc).__name__}: {exc}"
+                    shard_id, f"{type(exc).__name__}: {exc}"
                 ) from exc
             merger.offer(item.score for item in result.items)
-            SHARD_QUERIES.labels(
-                algorithm=algorithm, outcome="executed"
-            ).inc()
+            outcomes.labels(algorithm=algorithm, outcome="executed").inc()
+            if col.active:
+                col.shard(
+                    shard_id, "executed", bound, floor,
+                    elapsed_s=time.perf_counter() - shard_t0,
+                    sub=sub,
+                )
             return result
 
         return run

@@ -95,6 +95,104 @@ class TestPrometheusText:
         assert "g +Inf" in render_prometheus(reg)
 
 
+def _unescape_label_value(value: str) -> str:
+    """Invert Prometheus label escaping (the scraper's view)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, ch + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestLabelEscapingRoundTrip:
+    """Escaping must be invertible: escape → parse → unescape → original.
+
+    Guards against the classic ordering bug (escaping quotes before
+    backslashes double-escapes) and against newlines breaking the
+    line-oriented exposition format.
+    """
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "plain",
+            'say "hi"',
+            "back\\slash",
+            "line\nbreak",
+            '\\"',  # backslash then quote: order-sensitive
+            "\\n",  # literal backslash-n, not a newline
+            'mix\\of "all"\nthree\\',
+            "",
+        ],
+    )
+    def test_round_trip(self, raw):
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("q",)).labels(q=raw).inc()
+        text = render_prometheus(reg)
+        lines = [
+            l for l in text.strip().splitlines() if not l.startswith("#")
+        ]
+        assert len(lines) == 1  # newlines in values never split a sample
+        m = re.match(r'^c\{q="((?:\\.|[^"\\])*)"\} 1\.0$', lines[0])
+        assert m, lines[0]
+        assert _unescape_label_value(m.group(1)) == raw
+
+    def test_distinct_values_stay_distinct(self):
+        # '\\n' (two chars) and '\n' (newline) must not collide after
+        # escaping: backslash is escaped first.
+        reg = MetricsRegistry()
+        c = reg.counter("c", labelnames=("q",))
+        c.labels(q="\\n").inc()
+        c.labels(q="\n").inc()
+        text = render_prometheus(reg)
+        assert r'q="\\n"' in text
+        assert r'q="\n"' in text
+
+
+class TestQuantileInfClipping:
+    """quantile() at the +Inf bucket clips to the top finite bound."""
+
+    def test_clips_to_top_finite_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 2.0])
+        h.observe(5.0)  # lands in the implicit +Inf bucket
+        assert h.quantile(0.99) == 2.0
+        # count/sum still see the real observation.
+        ((_, child),) = h.series()
+        assert child.count == 1
+        assert child.sum == 5.0
+
+    def test_no_finite_buckets_returns_inf(self):
+        import threading
+
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(threading.Lock(), ())
+        h.observe(3.0)
+        assert h.quantile(0.5) == math.inf
+
+    def test_no_observations_returns_zero(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 2.0])
+        assert h.quantile(0.5) == 0.0
+
+    def test_mixed_observations_interpolate_below_clip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 2.0])
+        for v in (0.5, 0.5, 0.5, 5.0):
+            h.observe(v)
+        # p50 sits inside the first finite bucket; p99 is clipped.
+        assert h.quantile(0.5) <= 1.0
+        assert h.quantile(0.99) == 2.0
+
+
 class TestJsonSnapshot:
     def test_snapshot_shape(self, reg):
         snap = snapshot(reg)

@@ -1,0 +1,210 @@
+"""Tests for repro.obs.flight: the slow-query flight recorder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.processor import QueryProcessor
+from repro.core.query import PreferenceQuery
+from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
+from repro.errors import QueryError, ShardError
+from repro.obs import flight
+
+
+@pytest.fixture(autouse=True)
+def clean_flight():
+    """Recorder state is process-global: isolate every test."""
+    flight.clear()
+    flight.configure(
+        enabled_=False, latency_threshold_s=0.0,
+        capacity=flight.DEFAULT_CAPACITY,
+    )
+    yield
+    flight.clear()
+    flight.configure(
+        enabled_=False, latency_threshold_s=0.0,
+        capacity=flight.DEFAULT_CAPACITY,
+    )
+
+
+def _query(k: int = 5) -> PreferenceQuery:
+    return PreferenceQuery(k, 0.05, 0.5, (0b111, 0b1110))
+
+
+class TestRecorderBasics:
+    def test_disabled_by_default(self):
+        assert flight.enabled is False
+        assert not flight.maybe_record(_query(), "stps", "p", "t1", 1.0)
+        assert flight.records() == []
+
+    def test_latency_threshold(self):
+        flight.configure(enabled_=True, latency_threshold_s=0.1)
+        assert not flight.maybe_record(_query(), "stps", "p", "t1", 0.05)
+        assert flight.maybe_record(_query(), "stps", "p", "t2", 0.15)
+        records = flight.records()
+        assert len(records) == 1
+        assert records[0].trace_id == "t2"
+        assert records[0].latency_s == 0.15
+        assert records[0].query["k"] == 5
+
+    def test_errors_bypass_threshold(self):
+        flight.configure(enabled_=True, latency_threshold_s=10.0)
+        err = QueryError("bad query")
+        assert flight.record_error(_query(), "stps", "p", "t3", 0.001, err)
+        record = flight.records()[0]
+        assert record.error == {"type": "QueryError", "message": "bad query"}
+        assert record.shard_id is None
+
+    def test_shard_id_from_shard_error(self):
+        flight.configure(enabled_=True)
+        err = ShardError(3, "shard blew up")
+        flight.record_error(_query(), "stps", "p", "t4", 0.001, err)
+        assert flight.records()[0].shard_id == 3
+
+    def test_explicit_shard_id_wins(self):
+        flight.configure(enabled_=True)
+        flight.record_error(
+            _query(), "stps", "p", "t5", 0.001, QueryError("x"), shard_id=7
+        )
+        assert flight.records()[0].shard_id == 7
+
+    def test_ring_wraparound(self):
+        flight.configure(enabled_=True, capacity=4)
+        for i in range(10):
+            flight.maybe_record(_query(), "stps", "p", f"t{i}", 0.01)
+        records = flight.records()
+        assert [r.trace_id for r in records] == ["t6", "t7", "t8", "t9"]
+        stats = flight.stats()
+        assert stats["buffered"] == 4
+        assert stats["total_recorded"] == 10
+        assert stats["total_evicted"] == 6
+
+    def test_capacity_resize_keeps_newest(self):
+        flight.configure(enabled_=True, capacity=8)
+        for i in range(6):
+            flight.maybe_record(_query(), "stps", "p", f"t{i}", 0.01)
+        flight.configure(capacity=2)
+        assert [r.trace_id for r in flight.records()] == ["t4", "t5"]
+        with pytest.raises(ValueError):
+            flight.configure(capacity=0)
+
+    def test_dump_jsonl(self, tmp_path):
+        flight.configure(enabled_=True)
+        flight.maybe_record(_query(), "stps", "p", "aa", 0.01)
+        flight.record_error(_query(), "stds", "p", "bb", 0.02, ShardError(1, "x"))
+        path = flight.dump_jsonl(tmp_path / "flight.jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["trace_id"] == "aa"
+        assert "error" not in lines[0]
+        assert lines[1]["error"]["type"] == "ShardError"
+        assert lines[1]["shard_id"] == 1
+
+    def test_clear(self):
+        flight.configure(enabled_=True)
+        flight.maybe_record(_query(), "stps", "p", "t", 0.01)
+        assert flight.clear() == 1
+        assert flight.records() == []
+        assert flight.stats()["total_recorded"] == 0
+
+
+@pytest.fixture(scope="module")
+def processor():
+    objects = synthetic_objects(300, seed=9)
+    feature_sets = synthetic_feature_sets(2, 200, 32, seed=10)
+    return QueryProcessor.build(objects, feature_sets)
+
+
+class TestProcessorIntegration:
+    def test_slow_query_recorded_with_trace_id(self, processor):
+        flight.configure(enabled_=True, latency_threshold_s=0.0)
+        result = processor.query(_query())
+        records = flight.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.trace_id == result.stats.trace_id
+        assert record.algorithm == "stps"
+        assert record.counters["objects_scored"] == (
+            result.stats.objects_scored
+        )
+
+    def test_explain_attaches_plan_summary(self, processor):
+        flight.configure(enabled_=True, latency_threshold_s=0.0)
+        report = processor.explain(_query())
+        record = flight.records()[-1]
+        assert record.plan_summary is not None
+        assert record.plan_summary["objects_scored"] == (
+            report.plan.objects_scored
+        )
+
+    def test_failed_query_recorded(self, processor):
+        flight.configure(enabled_=True, latency_threshold_s=10.0)
+        bad = PreferenceQuery(5, 0.05, 0.5, (0b1,))  # c=1 vs 2 trees
+        with pytest.raises(QueryError):
+            processor.query(bad)
+        records = flight.records()
+        assert len(records) == 1  # threshold skipped for errors
+        assert records[0].error["type"] == "QueryError"
+        assert records[0].trace_id
+
+    def test_disabled_records_nothing(self, processor):
+        processor.query(_query())
+        assert flight.records() == []
+
+
+class TestShardedIntegration:
+    def test_shard_failure_carries_shard_id(self):
+        from repro.shard import ShardedQueryProcessor
+
+        objects = synthetic_objects(200, seed=11)
+        feature_sets = synthetic_feature_sets(2, 150, 32, seed=12)
+        flight.configure(enabled_=True, latency_threshold_s=10.0)
+        with ShardedQueryProcessor.build(
+            objects, feature_sets, shards=2, radius=0.08, max_workers=1
+        ) as sharded:
+            # Sabotage every shard so whichever runs first raises a
+            # wrapped ShardError (run order follows the root bounds).
+            for shard in sharded.shards:
+                shard.processor.query = _boom
+            with pytest.raises(ShardError):
+                sharded.query(_query())
+        records = flight.records()
+        # The sharded fan-out records the wrapped ShardError with the
+        # failing shard's id (the per-shard processor was bypassed, so
+        # only the fan-out layer records).
+        shard_errors = [r for r in records if r.error is not None]
+        assert shard_errors
+        assert shard_errors[-1].error["type"] == "ShardError"
+        assert shard_errors[-1].shard_id in (0, 1)
+        assert shard_errors[-1].algorithm == "sharded/stps"
+
+    def test_slow_sharded_query_recorded(self):
+        from repro.shard import ShardedQueryProcessor
+
+        objects = synthetic_objects(200, seed=11)
+        feature_sets = synthetic_feature_sets(2, 150, 32, seed=12)
+        flight.configure(enabled_=True, latency_threshold_s=0.0)
+        with ShardedQueryProcessor.build(
+            objects, feature_sets, shards=2, radius=0.08
+        ) as sharded:
+            result = sharded.query(_query())
+        fanout = [
+            r for r in flight.records() if r.algorithm == "sharded/stps"
+        ]
+        assert len(fanout) == 1
+        assert fanout[0].trace_id == result.stats.trace_id
+        # Per-shard executions (inside the fan-out's trace scope) were
+        # recorded too, under the same trace id.
+        per_shard = [
+            r for r in flight.records() if r.algorithm == "stps"
+        ]
+        assert per_shard
+        assert all(
+            r.trace_id == result.stats.trace_id for r in per_shard
+        )
+
+
+def _boom(*args, **kwargs):
+    raise RuntimeError("injected shard failure")

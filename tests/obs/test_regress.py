@@ -1,0 +1,209 @@
+"""Tests for repro.obs.regress: the perf-regression sentinel."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import regress
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXECUTOR_DOC = {
+    "benchmark": "executor-hot-path",
+    "config": {
+        "objects": 2000, "features_per_set": 1000, "feature_sets": 2,
+        "vocabulary": 64, "distinct_queries": 5, "repeats": 2,
+        "workers": 4, "numpy_fast_path": True, "python": "3.11.7",
+    },
+    "results": [
+        {
+            "algorithm": "stps", "queries": 10, "speedup": 40.0,
+            "speedup_warm": 9.0, "throughput_qps": 900.0,
+            "optimized_s": 0.2,
+        },
+        {
+            "algorithm": "stds", "queries": 10, "speedup": 12.0,
+            "speedup_warm": 8.0, "throughput_qps": 50.0,
+            "optimized_s": 3.0,
+        },
+    ],
+}
+
+SHARDS_DOC = {
+    "benchmark": "shard-scaling",
+    "config": {
+        "objects": 1000, "features_per_set": 600, "feature_sets": 2,
+        "queries": 4, "cpus": 8, "python": "3.11.7",
+    },
+    "headline_algorithm": "stps",
+    "results": [
+        {
+            "algorithm": "stps", "queries": 4,
+            "shards": [
+                {"shards": 2, "speedup_cold": 1.9},
+                {"shards": 4, "speedup_cold": 4.2},
+            ],
+            "speedup_cold_s4": 4.2,
+        },
+    ],
+}
+
+
+class TestCompareDocs:
+    def test_identical_docs_pass_matched_mode(self):
+        verdict = regress.compare_docs(EXECUTOR_DOC, EXECUTOR_DOC)
+        assert verdict["mode"] == "matched"
+        assert verdict["ok"] is True
+        units = {c["unit"] for c in verdict["checks"]}
+        assert units == {"executor/stps", "executor/stds"}
+
+    def test_synthetic_2x_slowdown_fails(self):
+        slowed = copy.deepcopy(EXECUTOR_DOC)
+        for row in slowed["results"]:
+            row["speedup"] /= 2.0
+            row["speedup_warm"] /= 2.0
+            row["throughput_qps"] /= 2.0
+            row["optimized_s"] *= 2.0
+        verdict = regress.compare_docs(EXECUTOR_DOC, slowed)
+        assert verdict["mode"] == "matched"
+        assert verdict["ok"] is False
+        failing = [c for c in verdict["checks"] if not c["ok"]]
+        assert failing  # every ratio check is below tolerance
+        assert all(c["rule"] == "ratio" for c in failing)
+
+    def test_noise_within_tolerance_passes(self):
+        noisy = copy.deepcopy(EXECUTOR_DOC)
+        for row in noisy["results"]:
+            row["speedup"] *= 0.8  # 20% dip: inside the 45% budget
+            row["speedup_warm"] *= 0.8
+            row["throughput_qps"] *= 0.8
+        assert regress.compare_docs(EXECUTOR_DOC, noisy)["ok"] is True
+
+    def test_machine_keys_do_not_break_matched_mode(self):
+        other = copy.deepcopy(EXECUTOR_DOC)
+        other["config"]["python"] = "3.12.1"
+        other["config"]["workers"] = 8
+        verdict = regress.compare_docs(EXECUTOR_DOC, other)
+        assert verdict["mode"] == "matched"
+
+    def test_workload_mismatch_uses_floor_mode(self):
+        smoke = copy.deepcopy(EXECUTOR_DOC)
+        smoke["config"]["objects"] = 500  # different workload shape
+        verdict = regress.compare_docs(EXECUTOR_DOC, smoke)
+        assert verdict["mode"] == "floor"
+        assert verdict["ok"] is True  # speedups 40/12 clear the 1.2 floor
+        assert {c["rule"] for c in verdict["checks"]} == {"floor"}
+
+    def test_floor_mode_catches_lost_speedup(self):
+        smoke = copy.deepcopy(EXECUTOR_DOC)
+        smoke["config"]["objects"] = 500
+        smoke["results"][0]["speedup"] = 1.05  # hot path gone
+        verdict = regress.compare_docs(EXECUTOR_DOC, smoke)
+        assert verdict["ok"] is False
+
+    def test_shard_floor_mode_uses_headline(self):
+        smoke = copy.deepcopy(SHARDS_DOC)
+        smoke["config"]["objects"] = 500
+        verdict = regress.compare_docs(SHARDS_DOC, smoke)
+        assert verdict["mode"] == "floor"
+        assert verdict["ok"] is True
+        (check,) = verdict["checks"]
+        assert check["unit"] == "shards/stps"
+        smoke["results"][0]["speedup_cold_s4"] = 1.0
+        assert regress.compare_docs(SHARDS_DOC, smoke)["ok"] is False
+
+    def test_speedup_cold_s4_fallback_from_rows(self):
+        doc = copy.deepcopy(SHARDS_DOC)
+        del doc["results"][0]["speedup_cold_s4"]
+        metrics = regress.extract_metrics(doc)
+        assert metrics["shards/stps"]["speedup_cold_s4"] == 4.2
+
+    def test_benchmark_type_mismatch_is_invalid(self):
+        verdict = regress.compare_docs(EXECUTOR_DOC, SHARDS_DOC)
+        assert verdict["mode"] == "invalid"
+        assert verdict["ok"] is False
+
+    def test_missing_metric_fails(self):
+        broken = copy.deepcopy(EXECUTOR_DOC)
+        del broken["results"][0]["speedup"]
+        verdict = regress.compare_docs(EXECUTOR_DOC, broken)
+        assert verdict["ok"] is False
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_pass_run_writes_verdict_and_history(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", EXECUTOR_DOC)
+        verdict_path = tmp_path / "verdict.json"
+        history_path = tmp_path / "history.jsonl"
+        rc = regress.main([
+            "--pair", base, base,
+            "--verdict", str(verdict_path),
+            "--history", str(history_path),
+        ])
+        assert rc == 0
+        doc = json.loads(verdict_path.read_text())
+        assert doc["schema_version"] == regress.SENTINEL_SCHEMA_VERSION
+        assert doc["ok"] is True
+        assert doc["pairs"][0]["mode"] == "matched"
+        (line,) = history_path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["ok"] is True
+        assert record["git_sha"]
+        assert record["timestamp"]
+        assert record["pairs"][0]["metrics"]["executor/stps:speedup"] == 40.0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_history_appends(self, tmp_path):
+        base = self._write(tmp_path, "base.json", EXECUTOR_DOC)
+        history_path = tmp_path / "history.jsonl"
+        for _ in range(2):
+            regress.main(["--pair", base, base, "--history", str(history_path)])
+        assert len(history_path.read_text().splitlines()) == 2
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        slowed = copy.deepcopy(EXECUTOR_DOC)
+        for row in slowed["results"]:
+            row["speedup"] /= 2.0
+        base = self._write(tmp_path, "base.json", EXECUTOR_DOC)
+        cur = self._write(tmp_path, "cur.json", slowed)
+        verdict_path = tmp_path / "verdict.json"
+        rc = regress.main(
+            ["--pair", base, cur, "--verdict", str(verdict_path)]
+        )
+        assert rc == 1
+        assert json.loads(verdict_path.read_text())["ok"] is False
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_multiple_pairs_all_must_pass(self, tmp_path):
+        base_e = self._write(tmp_path, "e.json", EXECUTOR_DOC)
+        base_s = self._write(tmp_path, "s.json", SHARDS_DOC)
+        assert regress.main(["--pair", base_e, base_e,
+                             "--pair", base_s, base_s]) == 0
+        broken = copy.deepcopy(SHARDS_DOC)
+        broken["results"][0]["speedup_cold_s4"] = 0.1
+        cur_s = self._write(tmp_path, "s2.json", broken)
+        assert regress.main(["--pair", base_e, base_e,
+                             "--pair", base_s, cur_s]) == 1
+
+
+@pytest.mark.skipif(
+    not (REPO_ROOT / "BENCH_executor.json").exists(),
+    reason="committed baselines not present",
+)
+class TestCommittedBaselines:
+    def test_baselines_pass_against_themselves(self):
+        executor = str(REPO_ROOT / "BENCH_executor.json")
+        shards = str(REPO_ROOT / "BENCH_shards.json")
+        assert regress.main([
+            "--pair", executor, executor,
+            "--pair", shards, shards,
+        ]) == 0

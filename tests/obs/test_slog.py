@@ -1,0 +1,111 @@
+"""Tests for repro.obs.slog: structured JSON logs joined on trace id."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import slog, tracing
+
+
+@pytest.fixture()
+def log_stream():
+    stream = io.StringIO()
+    slog.configure(level=logging.INFO, stream=stream, logger_name="repro")
+    yield stream
+    slog.teardown("repro")
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(l) for l in stream.getvalue().splitlines()]
+
+
+class TestJsonLogging:
+    def test_basic_record_shape(self, log_stream):
+        logging.getLogger("repro.test").info("hello %s", "world")
+        (record,) = _lines(log_stream)
+        assert record["message"] == "hello world"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test"
+        assert record["trace_id"] == "-"  # outside any query context
+        assert isinstance(record["ts"], float)
+
+    def test_trace_id_stamped_inside_scope(self, log_stream):
+        with tracing.trace_scope(tracing.new_trace_id()) as tid:
+            logging.getLogger("repro.test").info("inside")
+        logging.getLogger("repro.test").info("outside")
+        inside, outside = _lines(log_stream)
+        assert inside["trace_id"] == tid
+        assert outside["trace_id"] == "-"
+
+    def test_extra_fields_pass_through(self, log_stream):
+        logging.getLogger("repro.test").info(
+            "floor raised", extra={"floor": 0.42, "shard": 3}
+        )
+        (record,) = _lines(log_stream)
+        assert record["floor"] == 0.42
+        assert record["shard"] == 3
+
+    def test_non_json_extra_reprs(self, log_stream):
+        marker = object()
+        logging.getLogger("repro.test").info("x", extra={"obj": marker})
+        (record,) = _lines(log_stream)
+        assert record["obj"] == repr(marker)
+
+    def test_exception_info(self, log_stream):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logging.getLogger("repro.test").exception("failed")
+        (record,) = _lines(log_stream)
+        assert record["exc_type"] == "ValueError"
+        assert record["exc_message"] == "boom"
+        assert record["level"] == "ERROR"
+
+    def test_configure_idempotent(self, log_stream):
+        # Re-configuring replaces the handler: still exactly one line.
+        second = io.StringIO()
+        slog.configure(stream=second, logger_name="repro")
+        logging.getLogger("repro.test").info("once")
+        assert _lines(log_stream) == []  # old handler was removed
+        assert len(_lines(second)) == 1
+
+    def test_teardown_removes_handler(self):
+        stream = io.StringIO()
+        slog.configure(stream=stream, logger_name="repro")
+        slog.teardown("repro")
+        assert not [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_slog", False)
+        ]
+
+    def test_query_logs_join_flight_and_spans(self, log_stream):
+        """The same trace id appears in logs, stats, and trace events."""
+        from repro.core.processor import QueryProcessor
+        from repro.core.query import PreferenceQuery
+        from repro.data.synthetic import (
+            synthetic_feature_sets,
+            synthetic_objects,
+        )
+
+        processor = QueryProcessor.build(
+            synthetic_objects(100, seed=3),
+            synthetic_feature_sets(2, 80, 32, seed=4),
+        )
+        query = PreferenceQuery(3, 0.05, 0.5, (0b11, 0b110))
+        with tracing.enabled_tracing():
+            with tracing.trace_scope(tracing.new_trace_id()) as tid:
+                logging.getLogger("repro.test").info("running query")
+                result = processor.query(query)
+        assert result.stats.trace_id == tid
+        (record,) = _lines(log_stream)
+        assert record["trace_id"] == tid
+        span_ids = {
+            e.get("args", {}).get("trace_id")
+            for e in tracing.events()
+            if e.get("ph") == "X"
+        }
+        assert tid in span_ids

@@ -142,19 +142,20 @@ class TestQueryShapeValidation:
 
 class TestPruningAndMetrics:
     def test_shard_outcomes_counted(self, datasets):
-        from repro.shard.sharded_processor import SHARD_QUERIES
+        from repro.shard.sharded_processor import shard_queries_metric
 
         objects, feature_sets = datasets
         with ShardedQueryProcessor.build(
             objects, feature_sets, shards=4, radius=0.08
         ) as sharded:
-            sharded.reset_stats()  # zeroes the metrics registry too
+            sharded.reset_stats()  # zeroes the shard metric families too
             for seed in range(6):
                 sharded.query(_query(k=1, seed=seed))
+            family = shard_queries_metric()
             by_outcome: dict[str, float] = {}
-            for labelvalues, child in SHARD_QUERIES.series():
+            for labelvalues, child in family.series():
                 outcome = dict(
-                    zip(SHARD_QUERIES.labelnames, labelvalues)
+                    zip(family.labelnames, labelvalues)
                 )["outcome"]
                 by_outcome[outcome] = (
                     by_outcome.get(outcome, 0.0) + child.value

@@ -148,6 +148,12 @@ def bench(args) -> dict:
             }
         )
 
+    process_mode = None
+    if not args.skip_process:
+        process_mode = bench_process_mode(
+            args, objects, feature_sets, workload, results[0]
+        )
+
     return {
         "benchmark": "shard-scaling",
         "config": {
@@ -172,6 +178,76 @@ def bench(args) -> dict:
         # ~50x lower and sharding is roughly neutral for it.
         "headline_algorithm": args.algorithms[0],
         "speedup_cold_s4": results[0]["speedup_cold_s4"],
+        # Process fan-out vs thread fan-out, same workload.  Honest
+        # caveat: on a single-CPU runner the process pass pays dispatch
+        # overhead with no cores to spread across, so speedup_vs_threads
+        # < 1 there; the sentinel only gates it on multi-core machines.
+        "process_mode": process_mode,
+    }
+
+
+def bench_process_mode(
+    args, objects, feature_sets, workload, thread_result
+) -> dict:
+    """Process fan-out over shared-memory pages, headline algorithm only.
+
+    Runs the exact workload of the thread-mode pass at every shard count
+    and reports speedups both against the unsharded baseline and against
+    the matching thread-mode row (``speedup_vs_threads_*``) — the number
+    that isolates the fan-out substrate from the sharding algorithmics.
+    """
+    algorithm = args.algorithms[0]
+    thread_rows = {row["shards"]: row for row in thread_result["shards"]}
+    base_cold = thread_result["baseline_cold_s"]
+    base_warm = thread_result["baseline_warm_s"]
+    rows = []
+    for shards in args.shards:
+        t0 = time.perf_counter()
+        with ShardedQueryProcessor.build(
+            objects,
+            feature_sets,
+            shards=shards,
+            radius=args.halo,
+            method=args.method,
+            max_workers=args.workers,
+            fanout="processes",
+            start_method=args.start_method,
+        ) as sharded:
+            build_s = time.perf_counter() - t0
+            sharded.reset_stats()
+            cold_s = run_cold(sharded, workload, algorithm)
+            warm_s = run_warm(sharded, workload, algorithm)
+            outcomes = shard_outcomes()
+            thread_row = thread_rows.get(sharded.shard_count, {})
+            t_cold = thread_row.get("cold_s", 0.0)
+            t_warm = thread_row.get("warm_s", 0.0)
+            rows.append(
+                {
+                    "shards": sharded.shard_count,
+                    "build_s": round(build_s, 4),
+                    "cold_s": round(cold_s, 4),
+                    "warm_s": round(warm_s, 4),
+                    "speedup_cold": round(cold_s and base_cold / cold_s, 2),
+                    "speedup_warm": round(warm_s and base_warm / warm_s, 2),
+                    "speedup_vs_threads_cold": round(
+                        cold_s and t_cold / cold_s, 2
+                    ),
+                    "speedup_vs_threads_warm": round(
+                        warm_s and t_warm / warm_s, 2
+                    ),
+                    "shard_queries_executed": outcomes.get("executed", 0),
+                    "shard_queries_pruned": outcomes.get("pruned", 0),
+                }
+            )
+    by_count = {row["shards"]: row for row in rows}
+    return {
+        "algorithm": algorithm,
+        "start_method": args.start_method or "default",
+        "rows": rows,
+        "speedup_cold_s4": by_count.get(4, {}).get("speedup_cold", 0.0),
+        "cold_speedup_vs_threads_s4": by_count.get(4, {}).get(
+            "speedup_vs_threads_cold", 0.0
+        ),
     }
 
 
@@ -201,6 +277,15 @@ def main(argv=None) -> int:
         "--algorithms", nargs="+", default=["stps", "stds"],
         choices=["stps", "stds"],
     )
+    parser.add_argument(
+        "--skip-process", action="store_true",
+        help="skip the process fan-out pass",
+    )
+    parser.add_argument(
+        "--start-method", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the process pass",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.objects = min(args.objects, 1200)
@@ -228,6 +313,20 @@ def main(argv=None) -> int:
                 f"executed {shard_row['shard_queries_executed']} / "
                 f"pruned {shard_row['shard_queries_pruned']}  "
                 f"build {shard_row['build_s']:.2f}s"
+            )
+    process_mode = payload.get("process_mode")
+    if process_mode:
+        print(
+            f"  process fan-out ({process_mode['algorithm']}, "
+            f"start={process_mode['start_method']}):"
+        )
+        for row in process_mode["rows"]:
+            print(
+                f"        S{row['shards']}: cold {row['cold_s']:.2f}s "
+                f"({row['speedup_cold']:.2f}x vs baseline, "
+                f"{row['speedup_vs_threads_cold']:.2f}x vs threads)  "
+                f"warm {row['warm_s']:.2f}s "
+                f"({row['speedup_vs_threads_warm']:.2f}x vs threads)"
             )
     return 0
 

@@ -246,6 +246,17 @@ class QueryExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def __del__(self) -> None:
+        # Safety net for executors abandoned without close(): without
+        # it the pool threads (non-daemon) outlive the object and keep
+        # the interpreter alive.  close() remains the real API.
+        try:
+            if not self._closed:
+                self._closed = True
+                self._pool.shutdown(wait=False)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

@@ -74,3 +74,11 @@ class ShardError(ReproError):
     def __init__(self, shard_id: int, message: str) -> None:
         super().__init__(f"shard {shard_id}: {message}")
         self.shard_id = shard_id
+        self.message = message
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # string) into the two-argument __init__ and fails; the sharded
+        # engine ships these across process boundaries, so restore from
+        # the original pair instead.
+        return (type(self), (self.shard_id, self.message))

@@ -89,6 +89,24 @@ class QueryRecord:
             out["shard_id"] = self.shard_id
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryRecord":
+        """Rebuild a record from :meth:`to_dict` output (see ingest)."""
+        return cls(
+            trace_id=data.get("trace_id", ""),
+            ts=data.get("ts", 0.0),
+            algorithm=data.get("algorithm", ""),
+            variant=data.get("variant", ""),
+            pulling=data.get("pulling", ""),
+            query=dict(data.get("query", {})),
+            latency_s=data.get("latency_s", 0.0),
+            phase_times=dict(data.get("phase_times", {})),
+            counters=dict(data.get("counters", {})),
+            plan_summary=data.get("plan_summary"),
+            error=data.get("error"),
+            shard_id=data.get("shard_id"),
+        )
+
 
 def configure(
     enabled_: bool | None = None,
@@ -234,6 +252,34 @@ def record_error(
         )
     )
     return True
+
+
+def ingest(
+    record_dicts, shard_id: int | None = None
+) -> int:
+    """Adopt records produced in another process into this ring buffer.
+
+    The process-mode shard fan-out runs per-shard queries in worker
+    processes whose flight buffers the parent cannot see; workers ship
+    their records (as :meth:`QueryRecord.to_dict` payloads) back over
+    the result channel and the parent replays them here, stamping
+    ``shard_id`` on records that do not already carry one so slow
+    per-shard queries are attributable.  Returns how many records were
+    adopted; no-ops (returning 0) when recording is disabled.
+    """
+    if not enabled:
+        return 0
+    n = 0
+    for data in record_dicts:
+        record = (
+            data if isinstance(data, QueryRecord)
+            else QueryRecord.from_dict(data)
+        )
+        if record.shard_id is None and shard_id is not None:
+            record.shard_id = shard_id
+        _push(record)
+        n += 1
+    return n
 
 
 def records() -> list[QueryRecord]:

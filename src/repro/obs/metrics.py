@@ -228,6 +228,23 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
 
+    def _merge(self, counts: Sequence[int], sum_: float, count: int) -> None:
+        """Fold another histogram's (same-bucket) state into this one.
+
+        Used by :func:`merge_state` to replay observations recorded in a
+        worker process; both sides must share the bucket layout.
+        """
+        if len(counts) != len(self._counts):
+            raise ReproError(
+                f"histogram merge bucket mismatch: {len(counts)} vs "
+                f"{len(self._counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._sum += sum_
+            self._count += count
+
 
 _TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
 
@@ -481,3 +498,104 @@ class scoped_registry:
         assert self._previous is not None
         set_registry(self._previous)
         return False
+
+
+# ----------------------------------------------------------------------
+# cross-process state transfer
+# ----------------------------------------------------------------------
+# The process-mode shard fan-out (repro.shard.process_runner) runs each
+# per-shard query in a worker process whose registry the parent cannot
+# see.  The worker snapshots its registry around the query, diffs the two
+# snapshots, and ships the *delta* back over the result channel; the
+# parent replays it into its own (current default) registry, so counter
+# deltas and EXPLAIN plans reconcile exactly as in thread mode.  Only
+# counters and histograms travel — gauges are point-in-time values of
+# the process that set them and would be meaningless merged.
+
+def snapshot_state(reg: MetricsRegistry | None = None) -> dict:
+    """A picklable snapshot of every counter/histogram series."""
+    reg = reg if reg is not None else registry()
+    counters = []
+    histograms = []
+    for family in reg.families():
+        if family.type_name == "counter":
+            counters.append((
+                family.name,
+                family.help,
+                family.labelnames,
+                [(lv, child.value) for lv, child in family.series()],
+            ))
+        elif family.type_name == "histogram":
+            histograms.append((
+                family.name,
+                family.help,
+                family.labelnames,
+                family._child_kwargs["buckets"],
+                [
+                    (lv, (child.bucket_counts(), child.sum, child.count))
+                    for lv, child in family.series()
+                ],
+            ))
+    return {"counters": counters, "histograms": histograms}
+
+
+def diff_state(before: dict, after: dict) -> dict:
+    """The per-series delta between two :func:`snapshot_state` results.
+
+    Series absent from ``before`` contribute their full ``after`` value;
+    zero-delta series are dropped, so a typical per-query delta is tiny.
+    """
+    before_counters = {
+        (name, lv): value
+        for name, _, _, series in before["counters"]
+        for lv, value in series
+    }
+    counters = []
+    for name, help_text, labelnames, series in after["counters"]:
+        deltas = []
+        for lv, value in series:
+            delta = value - before_counters.get((name, lv), 0.0)
+            if delta:
+                deltas.append((lv, delta))
+        if deltas:
+            counters.append((name, help_text, labelnames, deltas))
+    before_hist = {
+        (name, lv): state
+        for name, _, _, _, series in before["histograms"]
+        for lv, state in series
+    }
+    histograms = []
+    for name, help_text, labelnames, buckets, series in after["histograms"]:
+        deltas = []
+        for lv, (counts, sum_, count) in series:
+            prev = before_hist.get((name, lv))
+            if prev is not None:
+                prev_counts, prev_sum, prev_count = prev
+                counts = [c - p for c, p in zip(counts, prev_counts)]
+                sum_ = sum_ - prev_sum
+                count = count - prev_count
+            if count:
+                deltas.append((lv, (counts, sum_, count)))
+        if deltas:
+            histograms.append((name, help_text, labelnames, buckets, deltas))
+    return {"counters": counters, "histograms": histograms}
+
+
+def merge_state(delta: dict, reg: MetricsRegistry | None = None) -> None:
+    """Replay a :func:`diff_state` delta into ``reg`` (default registry).
+
+    Families and series are registered on demand with the help text,
+    label names, and bucket layout carried in the delta, so merging into
+    a fresh (e.g. test-scoped) registry just works.
+    """
+    reg = reg if reg is not None else registry()
+    for name, help_text, labelnames, series in delta["counters"]:
+        family = reg.counter(name, help_text, labelnames)
+        for lv, value in series:
+            family.labels(**dict(zip(labelnames, lv))).inc(value)
+    for name, help_text, labelnames, buckets, series in delta["histograms"]:
+        family = reg.histogram(name, help_text, labelnames, buckets=buckets)
+        for lv, (counts, sum_, count) in series:
+            family.labels(**dict(zip(labelnames, lv)))._merge(
+                counts, sum_, count
+            )

@@ -55,6 +55,11 @@ RATIO_TOLERANCE = 0.55
 EXECUTOR_SPEEDUP_FLOOR = 1.2
 #: Floor mode: minimum headline-algorithm speedup_cold at 4 shards.
 SHARD_SPEEDUP_FLOOR = 1.3
+#: Floor mode: minimum process-fanout cold speedup over thread fan-out
+#: at 4 shards.  Only meaningful with real cores to spread across, so
+#: it gates only when the run's machine had >= PROCESS_FANOUT_MIN_CPUS.
+PROCESS_FANOUT_SPEEDUP_FLOOR = 1.5
+PROCESS_FANOUT_MIN_CPUS = 4
 
 #: Config keys that describe the machine, not the workload — two runs
 #: differing only in these still compare in matched mode.
@@ -106,7 +111,29 @@ def extract_metrics(doc: dict) -> dict[str, dict[str, float]]:
             if value is not None:
                 metrics["speedup_cold_s4"] = float(value)
             out[unit] = metrics
+        process = doc.get("process_mode")
+        if process:
+            metrics = {}
+            for key in ("speedup_cold_s4", "cold_speedup_vs_threads_s4"):
+                value = process.get(key)
+                if value is not None:
+                    metrics[key] = float(value)
+            out[f"shards/process/{process.get('algorithm', 'stps')}"] = (
+                metrics
+            )
     return out
+
+
+def doc_cpus(doc: dict) -> int:
+    """CPU count the document's run saw (0 when unrecorded)."""
+    try:
+        return int(doc.get("config", {}).get("cpus") or 0)
+    except (TypeError, ValueError):
+        return 0
+
+
+def _is_process_unit(unit: str) -> bool:
+    return unit.startswith("shards/process/")
 
 
 def _check(unit, metric, rule, threshold, baseline, current) -> dict:
@@ -140,9 +167,29 @@ def compare_docs(baseline: dict, current: dict) -> dict:
     cur_metrics = extract_metrics(current)
     checks: list[dict] = []
 
+    enough_cpus = (
+        min(doc_cpus(baseline), doc_cpus(current))
+        >= PROCESS_FANOUT_MIN_CPUS
+    )
+
     if matched:
         mode = "matched"
         for unit, metrics in base_metrics.items():
+            if _is_process_unit(unit) and not enough_cpus:
+                # Process fan-out numbers on a <4-CPU box measure
+                # dispatch overhead, not parallelism; recorded in the
+                # doc, never gated.
+                checks.append({
+                    "unit": unit,
+                    "metric": "speedup_cold_s4",
+                    "rule": "skipped-cpus",
+                    "baseline": metrics.get("speedup_cold_s4"),
+                    "current": cur_metrics.get(unit, {}).get(
+                        "speedup_cold_s4"
+                    ),
+                    "ok": True,
+                })
+                continue
             for metric, base_value in metrics.items():
                 cur_value = cur_metrics.get(unit, {}).get(metric)
                 if cur_value is None:
@@ -181,6 +228,31 @@ def compare_docs(baseline: dict, current: dict) -> dict:
                     base_metrics.get(unit, {}).get("speedup_cold_s4"),
                     value,
                 ))
+            process_unit = f"shards/process/{headline}"
+            process_value = cur_metrics.get(process_unit, {}).get(
+                "cold_speedup_vs_threads_s4"
+            )
+            if process_value is not None:
+                if doc_cpus(current) >= PROCESS_FANOUT_MIN_CPUS:
+                    checks.append(_check(
+                        process_unit, "cold_speedup_vs_threads_s4",
+                        "floor", PROCESS_FANOUT_SPEEDUP_FLOOR,
+                        base_metrics.get(process_unit, {}).get(
+                            "cold_speedup_vs_threads_s4"
+                        ),
+                        process_value,
+                    ))
+                else:
+                    checks.append({
+                        "unit": process_unit,
+                        "metric": "cold_speedup_vs_threads_s4",
+                        "rule": "skipped-cpus",
+                        "baseline": base_metrics.get(
+                            process_unit, {}
+                        ).get("cold_speedup_vs_threads_s4"),
+                        "current": process_value,
+                        "ok": True,
+                    })
     if not checks:
         return {
             "benchmark": bench,

@@ -17,13 +17,24 @@ from repro.shard.partitioner import (
     kd_split,
     partition,
 )
-from repro.shard.sharded_processor import ShardedQueryProcessor
+from repro.shard.process_runner import (
+    ProcessShardRunner,
+    ShardManifest,
+    TreeManifest,
+    freeze_shard,
+)
+from repro.shard.sharded_processor import FANOUT_MODES, ShardedQueryProcessor
 
 __all__ = [
+    "FANOUT_MODES",
     "PARTITION_METHODS",
     "REPLICATION_MODES",
+    "ProcessShardRunner",
+    "ShardManifest",
     "ShardSpec",
     "ShardedQueryProcessor",
+    "TreeManifest",
+    "freeze_shard",
     "grid_factors",
     "grid_regions",
     "kd_split",

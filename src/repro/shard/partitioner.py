@@ -79,6 +79,19 @@ class ShardSpec:
             "features": [len(fs) for fs in self.feature_sets],
         }
 
+    def geometry(self) -> tuple:
+        """Cheap transferable identity: no live datasets, just tuples.
+
+        What crosses a process boundary in place of the spec itself (the
+        datasets stay behind; workers reopen the shard's *indexes* from
+        shared memory — see :mod:`repro.shard.process_runner`).
+        """
+        return (
+            self.shard_id,
+            (tuple(self.bbox.low), tuple(self.bbox.high)),
+            self.radius,
+        )
+
 
 def partition(
     objects: ObjectDataset,

@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 import time
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from threading import Lock
 
 import heapq
@@ -49,6 +49,18 @@ from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.shard.partitioner import ShardSpec, partition
+from repro.shard.process_runner import (
+    ProcessShardRunner,
+    ShardManifest,
+    freeze_shard,
+    unpickle_error,
+)
+from repro.storage.shm import SharedMemoryPageFile
+
+#: Fan-out execution modes: GIL-sharing threads (default, zero setup
+#: cost) or worker processes over shared-memory page storage (true
+#: multi-core parallelism for the pure-Python per-shard work).
+FANOUT_MODES = ("threads", "processes")
 
 #: Metric families owned by this module — the scope of
 #: :meth:`ShardedQueryProcessor.reset_stats`'s registry reset.
@@ -169,6 +181,15 @@ class ShardedQueryProcessor:
     duck-type compatible with :class:`~repro.core.executor.QueryExecutor`
     (``query``/``query_many``/``trees``/``clear_buffers``/``reset_stats``),
     so batch routing reuses the executor machinery unchanged.
+
+    ``fanout`` selects the worker substrate: ``"threads"`` (default)
+    shares the GIL, so per-shard CPU work serializes; ``"processes"``
+    runs shards on a :class:`~repro.shard.process_runner.ProcessShardRunner`
+    pool attached to shared-memory page storage — same results, same
+    metrics/EXPLAIN/flight behavior, true multi-core scaling.  Build
+    with ``fanout="processes"`` (the indexes must be frozen into shared
+    memory at build time); ``start_method`` picks the multiprocessing
+    start method (``None`` = platform default).
     """
 
     def __init__(
@@ -176,15 +197,35 @@ class ShardedQueryProcessor:
         shards: Sequence[_Shard],
         radius: float,
         max_workers: int | None = None,
+        fanout: str = "threads",
+        start_method: str | None = None,
+        manifests: Sequence[ShardManifest] | None = None,
     ) -> None:
         if not shards:
             raise ShardError(-1, "need at least one shard")
+        if fanout not in FANOUT_MODES:
+            raise ShardError(
+                -1, f"unknown fanout {fanout!r}; choose from {FANOUT_MODES}"
+            )
+        if fanout == "processes" and manifests is None:
+            raise ShardError(
+                -1,
+                "fanout='processes' needs shared-memory manifests; build "
+                "via ShardedQueryProcessor.build(..., fanout='processes')",
+            )
         self.shards = list(shards)
         self.radius = radius
         self.max_workers = max_workers
+        self.fanout = fanout
+        self.start_method = start_method
+        self._manifests = list(manifests) if manifests is not None else None
         self._pool: ThreadPoolExecutor | None = None
+        self._process_runner: ProcessShardRunner | None = None
         self._pool_lock = Lock()
         self._closed = False
+        #: Cache epoch forwarded with every process-mode task; bumped by
+        #: :meth:`clear_buffers` so worker-side caches go cold too.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -203,6 +244,8 @@ class ShardedQueryProcessor:
         buffer_pages: int = 256,
         build_method: str = "bulk",
         max_workers: int | None = None,
+        fanout: str = "threads",
+        start_method: str | None = None,
     ) -> "ShardedQueryProcessor":
         """Partition the datasets and build one processor per shard."""
         specs = partition(
@@ -220,6 +263,8 @@ class ShardedQueryProcessor:
             buffer_pages=buffer_pages,
             build_method=build_method,
             max_workers=max_workers,
+            fanout=fanout,
+            start_method=start_method,
         )
 
     @classmethod
@@ -231,8 +276,19 @@ class ShardedQueryProcessor:
         buffer_pages: int = 256,
         build_method: str = "bulk",
         max_workers: int | None = None,
+        fanout: str = "threads",
+        start_method: str | None = None,
     ) -> "ShardedQueryProcessor":
-        """Build from pre-partitioned specs (e.g. loaded from disk)."""
+        """Build from pre-partitioned specs (e.g. loaded from disk).
+
+        With ``fanout="processes"`` each shard's freshly built indexes
+        are frozen into shared-memory segments
+        (:func:`~repro.shard.process_runner.freeze_shard`): the parent's
+        own per-shard processors are reopened over the frozen pages (it
+        owns the segments and unlinks them on :meth:`close`), and the
+        returned manifests let worker processes attach the same pages
+        read-only — one physical copy, zero pickling of trees.
+        """
         if not specs:
             raise ShardError(-1, "no shard specs given")
         built = [
@@ -250,7 +306,23 @@ class ShardedQueryProcessor:
             for spec in specs
         ]
         radius = min(spec.radius for spec in specs)
-        return cls(built, radius, max_workers=max_workers)
+        manifests = None
+        if fanout == "processes":
+            manifests = []
+            for shard in built:
+                frozen, manifest = freeze_shard(
+                    shard.spec.geometry(), shard.processor, buffer_pages
+                )
+                shard.processor = frozen
+                manifests.append(manifest)
+        return cls(
+            built,
+            radius,
+            max_workers=max_workers,
+            fanout=fanout,
+            start_method=start_method,
+            manifests=manifests,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -269,16 +341,48 @@ class ShardedQueryProcessor:
             "shards": self.shard_count,
             "radius": None if math.isinf(self.radius) else self.radius,
             "replication": "full" if math.isinf(self.radius) else "halo",
+            "fanout": self.fanout,
             "layout": [s.spec.describe() for s in self.shards],
         }
 
     def close(self) -> None:
-        """Shut the fan-out pool down; subsequent queries raise."""
+        """Shut the fan-out pool down; subsequent queries raise.
+
+        In process mode this also terminates the worker pool and
+        unlinks the shared-memory segments (the parent owns them), so
+        nothing is left behind in ``/dev/shm``.
+        """
         self._closed = True
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            runner, self._process_runner = self._process_runner, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if runner is not None:
+            runner.close(wait=True)
+        # Unlink owned shared-memory segments last: workers detach when
+        # their processes exit above.
+        for shard in self.shards:
+            for tree in shard.processor.trees():
+                if isinstance(tree.pagefile, SharedMemoryPageFile):
+                    tree.pagefile.close()
+
+    def __del__(self) -> None:
+        # Safety net only — close() is the API.  Never raises, never
+        # blocks on worker exit during interpreter teardown.
+        try:
+            if not self._closed:
+                self._closed = True
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                if self._process_runner is not None:
+                    self._process_runner.close(wait=False)
+                for shard in self.shards:
+                    for tree in shard.processor.trees():
+                        if isinstance(tree.pagefile, SharedMemoryPageFile):
+                            tree.pagefile.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def __enter__(self) -> "ShardedQueryProcessor":
         return self
@@ -294,7 +398,15 @@ class ShardedQueryProcessor:
         return out
 
     def clear_buffers(self) -> dict[str, int]:
-        """Drop cached pages/nodes in every shard (cold-cache runs)."""
+        """Drop cached pages/nodes in every shard (cold-cache runs).
+
+        Worker-process caches cannot be reached synchronously, so the
+        cache *epoch* is bumped instead: every process-mode task carries
+        the current epoch and a worker holding a stale one clears that
+        shard's caches before executing.  Cold-run benchmarks therefore
+        stay cold in both fan-out modes.
+        """
+        self._epoch += 1
         dropped = {"pages": 0, "nodes": 0}
         for shard in self.shards:
             shard_dropped = shard.processor.clear_buffers()
@@ -358,20 +470,29 @@ class ShardedQueryProcessor:
                      enumerate(self.shards)),
                     key=lambda pair: (-pair[0], pair[1]),
                 )
-                run = self._make_runner(
-                    query, algorithm, pulling, batch_size, parallelism,
-                    floor, merger, col, trace_id,
-                )
-                workers = self._effective_workers()
-                if workers <= 1 or self.shard_count == 1:
-                    outcomes = [run(bound, idx) for bound, idx in ordered]
+                if self.fanout == "processes":
+                    results = self._run_processes(
+                        ordered, query, algorithm, pulling, batch_size,
+                        parallelism, floor, merger, col, trace_id,
+                    )
                 else:
-                    pool = self._ensure_pool(workers)
-                    futures = [
-                        pool.submit(run, bound, idx) for bound, idx in ordered
-                    ]
-                    outcomes = [f.result() for f in futures]
-                results = [r for r in outcomes if r is not None]
+                    run = self._make_runner(
+                        query, algorithm, pulling, batch_size, parallelism,
+                        floor, merger, col, trace_id,
+                    )
+                    workers = self._effective_workers()
+                    if workers <= 1 or self.shard_count == 1:
+                        outcomes = [
+                            run(bound, idx) for bound, idx in ordered
+                        ]
+                    else:
+                        pool = self._ensure_pool(workers)
+                        futures = [
+                            pool.submit(run, bound, idx)
+                            for bound, idx in ordered
+                        ]
+                        outcomes = [f.result() for f in futures]
+                    results = [r for r in outcomes if r is not None]
         except Exception as exc:
             if _flight.enabled:
                 _flight.record_error(
@@ -567,6 +688,103 @@ class ShardedQueryProcessor:
 
         return run
 
+    def _run_processes(
+        self, ordered, query, algorithm, pulling, batch_size, parallelism,
+        external_floor, merger, col, trace_id,
+    ) -> list[QueryResult]:
+        """Process-mode fan-out: throttled dispatch over the worker pool.
+
+        Shards are dispatched in descending bound order with at most
+        ``workers`` in flight; each dispatch re-reads the merged floor,
+        so shards falling out of contention while earlier ones run are
+        pruned without ever crossing the process boundary.  Completed
+        payloads are folded back in completion order: metrics deltas
+        into the (possibly scoped) parent registry, flight records into
+        the parent ring buffer, sub-plans into the parent collector —
+        the observable behavior matches thread mode exactly.
+        """
+        outcomes_metric = shard_queries_metric()
+        runner = self._ensure_process_runner()
+        workers = max(1, min(self._effective_workers(), len(ordered)))
+        results: list[QueryResult] = []
+        pending = list(ordered)  # (bound, idx), bound descending
+        in_flight: dict = {}
+        failure: Exception | None = None
+
+        def dispatch_next() -> bool:
+            while pending:
+                bound, idx = pending.pop(0)
+                shard_id = self.shards[idx].spec.shard_id
+                floor = max(merger.floor(), external_floor)
+                if math.isfinite(floor) and bound < floor:
+                    # Same tie semantics as thread mode: bound == floor
+                    # still executes.
+                    outcomes_metric.labels(
+                        algorithm=algorithm, outcome="pruned"
+                    ).inc()
+                    if col.active:
+                        col.shard(shard_id, "pruned", bound, floor)
+                    continue
+                future = runner.submit(
+                    shard_id, self._epoch, query, algorithm, pulling,
+                    batch_size, parallelism, floor, trace_id, col.active,
+                )
+                in_flight[future] = (bound, shard_id, floor)
+                return True
+            return False
+
+        for _ in range(workers):
+            if not dispatch_next():
+                break
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                bound, shard_id, floor = in_flight.pop(future)
+                payload = future.result()
+                # Fold observability back in even for failed shards —
+                # the worker did the work; the registry must show it.
+                _metrics.merge_state(payload["metrics"])
+                if _flight.enabled:
+                    _flight.ingest(payload["flight"], shard_id=shard_id)
+                error = payload["error"]
+                if error is not None:
+                    outcomes_metric.labels(
+                        algorithm=algorithm, outcome="failed"
+                    ).inc()
+                    if col.active:
+                        col.shard(
+                            shard_id, "failed", bound, floor,
+                            elapsed_s=payload["elapsed_s"],
+                            error=f"{error['type']}: {error['message']}",
+                        )
+                    if failure is None:
+                        failure = unpickle_error(error, shard_id)
+                    continue
+                result = payload["result"]
+                merger.offer(item.score for item in result.items)
+                outcomes_metric.labels(
+                    algorithm=algorithm, outcome="executed"
+                ).inc()
+                if col.active:
+                    sub_plan = (
+                        _explain.QueryPlan.from_dict(payload["plan"])
+                        if payload["plan"] is not None
+                        else None
+                    )
+                    col.shard(
+                        shard_id, "executed", bound, floor,
+                        elapsed_s=payload["elapsed_s"], sub_plan=sub_plan,
+                    )
+                results.append(result)
+            if failure is None:
+                while len(in_flight) < workers and dispatch_next():
+                    pass
+            # On failure: stop dispatching, drain what is in flight so
+            # their metrics/flight records land, then raise.
+        if failure is not None:
+            raise failure
+        return results
+
     def _effective_workers(self) -> int:
         if self.max_workers is not None:
             return max(1, self.max_workers)
@@ -581,6 +799,18 @@ class ShardedQueryProcessor:
                     max_workers=workers, thread_name_prefix="repro-shard"
                 )
             return self._pool
+
+    def _ensure_process_runner(self) -> ProcessShardRunner:
+        with self._pool_lock:
+            if self._closed:
+                raise ShardError(-1, "sharded processor is closed")
+            if self._process_runner is None:
+                self._process_runner = ProcessShardRunner(
+                    self._manifests,
+                    max_workers=self._effective_workers(),
+                    start_method=self.start_method,
+                )
+            return self._process_runner
 
 
 def _merge_stats(results: Sequence[QueryResult]) -> QueryStats:

@@ -4,6 +4,7 @@ from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from repro.storage.node_cache import NodeCache
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.pagefile import DiskPageFile, MemoryPageFile, PageFile
+from repro.storage.shm import SharedMemoryPageFile
 from repro.storage.stats import DEFAULT_PAGE_READ_COST_S, IOStats
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "NodeCache",
     "Page",
     "PageFile",
+    "SharedMemoryPageFile",
 ]

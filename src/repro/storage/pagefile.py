@@ -15,7 +15,9 @@ are verified on every read path.
 
 from __future__ import annotations
 
+import mmap
 import os
+import threading
 from abc import ABC, abstractmethod
 
 from repro.errors import PageNotFoundError, StorageError
@@ -97,16 +99,34 @@ class MemoryPageFile(PageFile):
 
 
 class DiskPageFile(PageFile):
-    """Page store backed by a real file of back-to-back page images."""
+    """Page store backed by a real file of back-to-back page images.
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    One file descriptor is opened at construction and reused for the
+    whole lifetime; reads go through positioned ``os.pread`` (no shared
+    seek cursor, so concurrent readers never race) or, with
+    ``mmap_reads=True``, through a shared read-only memory map that is
+    grown lazily as the file is extended.  Writes use positioned
+    ``os.pwrite`` under a lock that also guards allocation.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        mmap_reads: bool = False,
+    ) -> None:
         super().__init__(page_size)
         self.path = path
         exists = os.path.exists(path)
-        self._fh = open(path, "r+b" if exists else "w+b")
+        self._fh = open(path, "r+b" if exists else "w+b", buffering=0)
+        self._fd = self._fh.fileno()
+        self._write_lock = threading.Lock()
+        self._mmap_reads = mmap_reads
+        self._mmap: mmap.mmap | None = None
         if exists:
-            size = os.fstat(self._fh.fileno()).st_size
+            size = os.fstat(self._fd).st_size
             if size % page_size:
+                self._fh.close()
                 raise StorageError(
                     f"{path}: size {size} is not a multiple of page size {page_size}"
                 )
@@ -115,38 +135,68 @@ class DiskPageFile(PageFile):
             self._next_id = 0
 
     def allocate(self) -> int:
-        page_id = self._next_id
-        self._next_id += 1
-        # Extend the file with an empty (valid) page image so reads of a
-        # freshly allocated page do not fail structurally.
-        self._fh.seek(page_id * self.page_size)
-        self._fh.write(Page(page_id, b"").encode(self.page_size))
+        with self._write_lock:
+            page_id = self._next_id
+            self._next_id += 1
+            # Extend the file with an empty (valid) page image so reads of
+            # a freshly allocated page do not fail structurally.
+            os.pwrite(
+                self._fd,
+                Page(page_id, b"").encode(self.page_size),
+                page_id * self.page_size,
+            )
         return page_id
 
     def read(self, page_id: int) -> Page:
         if not 0 <= page_id < self._next_id:
             raise PageNotFoundError(page_id)
         self.stats.record_read()
-        self._fh.seek(page_id * self.page_size)
-        raw = self._fh.read(self.page_size)
+        offset = page_id * self.page_size
+        if self._mmap_reads:
+            view = self._view(offset + self.page_size)
+            raw = bytes(view[offset : offset + self.page_size])
+        else:
+            raw = os.pread(self._fd, self.page_size, offset)
         return Page.decode(page_id, raw, self.page_size)
 
     def write(self, page: Page) -> None:
         if not 0 <= page.page_id < self._next_id:
             raise PageNotFoundError(page.page_id)
         self.stats.record_write()
-        self._fh.seek(page.page_id * self.page_size)
-        self._fh.write(page.encode(self.page_size))
+        with self._write_lock:
+            os.pwrite(
+                self._fd,
+                page.encode(self.page_size),
+                page.page_id * self.page_size,
+            )
+
+    def _view(self, upto: int) -> mmap.mmap:
+        """The shared read map, re-mapped when the file has grown past it.
+
+        A ``MAP_SHARED`` mapping is coherent with ``pwrite`` through the
+        page cache, so only growth forces a remap.
+        """
+        view = self._mmap
+        if view is None or len(view) < upto:
+            if view is not None:
+                view.close()
+            view = self._mmap = mmap.mmap(
+                self._fd, 0, access=mmap.ACCESS_READ
+            )
+        return view
 
     @property
     def page_count(self) -> int:
         return self._next_id
 
     def flush(self) -> None:
-        """Flush buffered writes to the OS."""
-        self._fh.flush()
+        """Push written pages to stable storage."""
+        os.fsync(self._fd)
 
     def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
         self._fh.close()
 
     def __enter__(self) -> "DiskPageFile":

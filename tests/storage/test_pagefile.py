@@ -105,3 +105,60 @@ class TestDiskPageFile:
                 pf.allocate()
             pf.flush()
             assert os.path.getsize(path) == 4 * 128
+
+    @pytest.mark.parametrize("mmap_reads", [False, True])
+    def test_one_physical_read_per_page_read(self, tmp_path, mmap_reads):
+        # Regression: the old implementation re-opened the file on every
+        # read; now one descriptor serves the lifetime and each read()
+        # costs exactly one positioned read against it.
+        path = str(tmp_path / "pages.bin")
+        with DiskPageFile(path, page_size=128, mmap_reads=mmap_reads) as pf:
+            pids = [pf.allocate() for _ in range(3)]
+            for pid in pids:
+                pf.write(Page(pid, b"payload %d" % pid))
+            fd = pf._fd
+            for i, pid in enumerate(pids * 2, start=1):
+                assert pf.read(pid).payload == b"payload %d" % pid
+                assert pf.stats.reads == i
+                assert pf._fd == fd  # never re-opened
+
+    def test_mmap_view_tracks_growth(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with DiskPageFile(path, page_size=128, mmap_reads=True) as pf:
+            pid0 = pf.allocate()
+            pf.write(Page(pid0, b"first"))
+            assert pf.read(pid0).payload == b"first"
+            # Growing the file past the existing map must remap, and a
+            # write through pwrite must be visible through the map.
+            pid1 = pf.allocate()
+            pf.write(Page(pid1, b"second"))
+            assert pf.read(pid1).payload == b"second"
+            pf.write(Page(pid0, b"updated"))
+            assert pf.read(pid0).payload == b"updated"
+
+    @pytest.mark.parametrize("mmap_reads", [False, True])
+    def test_reopen_existing_with_read_mode(self, tmp_path, mmap_reads):
+        path = str(tmp_path / "pages.bin")
+        with DiskPageFile(path, page_size=128) as pf:
+            pid = pf.allocate()
+            pf.write(Page(pid, b"persisted"))
+            pf.flush()
+        with DiskPageFile(path, page_size=128, mmap_reads=mmap_reads) as pf:
+            assert pf.read(pid).payload == b"persisted"
+
+    def test_concurrent_reads_no_seek_races(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = str(tmp_path / "pages.bin")
+        with DiskPageFile(path, page_size=128) as pf:
+            pids = [pf.allocate() for _ in range(8)]
+            for pid in pids:
+                pf.write(Page(pid, b"p%d" % pid))
+
+            def hammer(pid):
+                for _ in range(50):
+                    assert pf.read(pid).payload == b"p%d" % pid
+                return pid
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                assert sorted(pool.map(hammer, pids)) == pids

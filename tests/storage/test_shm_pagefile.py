@@ -1,0 +1,146 @@
+"""Tests for the shared-memory page file (freeze / attach / lifecycle)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import PageCorruptedError, PageNotFoundError, StorageError
+from repro.storage.page import Page
+from repro.storage.pagefile import MemoryPageFile
+from repro.storage.shm import HEADER_BYTES, MAGIC, SharedMemoryPageFile
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _source(pages):
+    pf = MemoryPageFile(page_size=128)
+    for payload in pages:
+        pid = pf.allocate()
+        if payload is not None:
+            pf.write(Page(pid, payload))
+    return pf
+
+
+class TestFreeze:
+    def test_roundtrip_all_pages(self):
+        src = _source([b"alpha", b"beta", b"gamma"])
+        with SharedMemoryPageFile.freeze(src) as shm:
+            assert shm.page_count == 3
+            assert [shm.read(i).payload for i in range(3)] == [
+                b"alpha", b"beta", b"gamma"
+            ]
+
+    def test_never_written_page_freezes_empty(self):
+        src = _source([b"data", None])
+        with SharedMemoryPageFile.freeze(src) as shm:
+            assert shm.read(1).payload == b""
+
+    def test_source_read_stats_untouched(self):
+        src = _source([b"a", b"b"])
+        SharedMemoryPageFile.freeze(src).close()
+        assert src.stats.reads == 0
+
+    def test_header_layout(self):
+        src = _source([b"x"])
+        with SharedMemoryPageFile.freeze(src) as shm:
+            raw = bytes(shm._shm.buf[:HEADER_BYTES])
+            assert raw.startswith(MAGIC)
+            # Slot 0 begins right after the fixed header.
+            assert (
+                bytes(shm._shm.buf[HEADER_BYTES : HEADER_BYTES + 128])
+                == src._pages[0]
+            )
+
+    def test_owner_unlinks_on_close(self):
+        before = _shm_entries()
+        shm = SharedMemoryPageFile.freeze(_source([b"x"]))
+        assert _shm_entries() - before  # segment exists while open
+        shm.close()
+        assert _shm_entries() == before
+
+    def test_close_idempotent(self):
+        shm = SharedMemoryPageFile.freeze(_source([b"x"]))
+        shm.close()
+        shm.close()
+
+
+class TestAttach:
+    def test_attach_reads_same_pages(self):
+        with SharedMemoryPageFile.freeze(_source([b"one", b"two"])) as owner:
+            with SharedMemoryPageFile.attach(owner.name) as reader:
+                assert not reader.is_owner
+                assert reader.page_count == 2
+                assert reader.read(0).payload == b"one"
+                assert reader.read(1).payload == b"two"
+
+    def test_attach_close_does_not_unlink(self):
+        with SharedMemoryPageFile.freeze(_source([b"keep"])) as owner:
+            reader = SharedMemoryPageFile.attach(owner.name)
+            reader.close()
+            # Owner can still read after the reader detached.
+            assert owner.read(0).payload == b"keep"
+
+    def test_attach_unknown_name(self):
+        with pytest.raises(FileNotFoundError):
+            SharedMemoryPageFile.attach("repro-no-such-segment")
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(StorageError, match="magic"):
+                SharedMemoryPageFile.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_crc_verified_on_read(self):
+        with SharedMemoryPageFile.freeze(
+            _source([b"payload under test"])
+        ) as owner:
+            off = HEADER_BYTES + 16
+            owner._shm.buf[off] ^= 0xFF
+            with SharedMemoryPageFile.attach(owner.name) as reader:
+                with pytest.raises(PageCorruptedError):
+                    reader.read(0)
+
+
+class TestReadOnlyProtocol:
+    def test_allocate_raises(self):
+        with SharedMemoryPageFile.freeze(_source([b"x"])) as shm:
+            with pytest.raises(StorageError, match="read-only"):
+                shm.allocate()
+
+    def test_write_raises(self):
+        with SharedMemoryPageFile.freeze(_source([b"x"])) as shm:
+            with pytest.raises(StorageError, match="read-only"):
+                shm.write(Page(0, b"nope"))
+
+    def test_read_after_close(self):
+        shm = SharedMemoryPageFile.freeze(_source([b"x"]))
+        shm.close()
+        with pytest.raises(StorageError, match="closed"):
+            shm.read(0)
+
+    def test_out_of_range_read(self):
+        with SharedMemoryPageFile.freeze(_source([b"x"])) as shm:
+            with pytest.raises(PageNotFoundError):
+                shm.read(1)
+
+    def test_reads_counted(self):
+        with SharedMemoryPageFile.freeze(_source([b"x"])) as shm:
+            shm.read(0)
+            shm.read(0)
+            assert shm.stats.reads == 2
+
+    def test_does_not_pickle(self):
+        with SharedMemoryPageFile.freeze(_source([b"x"])) as shm:
+            with pytest.raises(StorageError, match="attach"):
+                pickle.dumps(shm)

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 import time
+import weakref
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -75,6 +77,16 @@ EXECUTOR_FAILURES = _metrics.registry().counter(
 )
 
 ON_ERROR_MODES = ("raise", "return")
+
+#: All live executors (weak refs); the resource sampler
+#: (:mod:`repro.obs.resources`) sums their queue depth and in-flight
+#: counts into backpressure gauges.
+_live_executors: "weakref.WeakSet[QueryExecutor]" = weakref.WeakSet()
+
+
+def live_executors() -> list["QueryExecutor"]:
+    """Live QueryExecutor instances (weakly tracked)."""
+    return [e for e in _live_executors if not e._closed]
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -221,7 +233,12 @@ class BatchReport:
 class QueryExecutor:
     """Runs batches of preference queries on a shared thread pool."""
 
-    def __init__(self, processor, max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+    def __init__(
+        self,
+        processor,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        profile: bool = False,
+    ) -> None:
         if max_workers < 1:
             raise QueryError(f"max_workers must be >= 1, got {max_workers}")
         self.processor = processor
@@ -230,6 +247,32 @@ class QueryExecutor:
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
         self._closed = False
+        # Backpressure accounting: queries submitted to the pool but not
+        # yet picked up, and queries currently executing.  Sampled by the
+        # resource sampler; a growing queue depth is the serving layer's
+        # admission-control signal.
+        self._depth_lock = threading.Lock()
+        self._queued = 0
+        self._running = 0
+        # ``profile=True`` arms the continuous sampling profiler for this
+        # executor's lifetime (the flight recorder can then resolve slow
+        # queries to stacks); close() disarms it if we armed it.
+        self._profiling = False
+        if profile:
+            from repro.obs import profiler as _profiler
+
+            self._profiling = _profiler.install()
+        _live_executors.add(self)
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries submitted to the pool but not yet picked up."""
+        return self._queued
+
+    @property
+    def running_count(self) -> int:
+        """Queries currently executing on pool threads."""
+        return self._running
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -239,6 +282,11 @@ class QueryExecutor:
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True)
+            if self._profiling:
+                from repro.obs import profiler as _profiler
+
+                _profiler.uninstall()
+                self._profiling = False
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -349,20 +397,29 @@ class QueryExecutor:
             query: PreferenceQuery, submitted: float, trace_id: str
         ) -> QueryResult:
             started = time.perf_counter()
-            with _tracing.trace_scope(trace_id):
-                result = self.processor.query(
-                    query,
-                    algorithm=algorithm,
-                    pulling=pulling,
-                    batch_size=batch_size,
-                    parallelism=parallelism,
-                )
+            with self._depth_lock:
+                self._queued -= 1
+                self._running += 1
+            try:
+                with _tracing.trace_scope(trace_id):
+                    result = self.processor.query(
+                        query,
+                        algorithm=algorithm,
+                        pulling=pulling,
+                        batch_size=batch_size,
+                        parallelism=parallelism,
+                    )
+            finally:
+                with self._depth_lock:
+                    self._running -= 1
             finished = time.perf_counter()
             queue_wait_metric.observe(started - submitted)
             if _timings is not None:
                 _timings.append((started - submitted, finished - started))
             return result
 
+        with self._depth_lock:
+            self._queued += len(to_run)
         futures = [
             self._pool.submit(run_one, query, time.perf_counter(), trace_id)
             for query, trace_id in zip(to_run, trace_ids)

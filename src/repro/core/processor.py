@@ -205,13 +205,15 @@ class QueryProcessor:
                             time.perf_counter() - t0, exc,
                         )
                     raise
-        elapsed = time.perf_counter() - t0
-        labels = {
-            "algorithm": algorithm,
-            "variant": query.variant.value,
-            "pulling": pulling,
-        }
-        QUERY_SECONDS.labels(**labels).observe(elapsed)
+            # Still inside the trace scope: the histogram observation
+            # must see the query's trace id so exemplars can attach.
+            elapsed = time.perf_counter() - t0
+            labels = {
+                "algorithm": algorithm,
+                "variant": query.variant.value,
+                "pulling": pulling,
+            }
+            QUERY_SECONDS.labels(**labels).observe(elapsed)
         QUERIES_TOTAL.labels(**labels).inc()
         if result.stats.combinations:
             COMBINATIONS_TOTAL.labels(**labels).inc(result.stats.combinations)

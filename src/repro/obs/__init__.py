@@ -20,10 +20,25 @@ vs. CPU time, combinations examined, feature objects pulled (Section
 * :mod:`repro.obs.slog` — structured JSON logging that stamps the
   current trace id on every record;
 * :mod:`repro.obs.regress` — the perf-regression sentinel comparing
-  bench results against committed baselines;
+  bench results against committed baselines (and recording SLO burn
+  rates into the bench history);
+* :mod:`repro.obs.timeseries` — a delta-encoded ring of periodic
+  registry snapshots: windowed rates and p50/p95/p99 over the last
+  N seconds, fed by a background :class:`~repro.obs.timeseries.Sampler`;
+* :mod:`repro.obs.slo` — declarative latency/availability SLOs with
+  error-budget accounting and multi-window burn-rate alerts evaluated
+  against the ring (committed definitions live in ``SLO.json``);
+* :mod:`repro.obs.resources` — process-resource gauges (RSS, fds,
+  ``/dev/shm`` segments, cache/buffer occupancy, executor queue depth)
+  sampled into the same ring;
+* :mod:`repro.obs.profiler` — a continuous ``sys._current_frames``
+  sampling profiler whose ring is retroactively captured (keyed by
+  trace id) whenever the flight recorder admits a slow query; emits
+  flamegraph.pl collapsed-stack output;
 * ``python -m repro.obs`` — run a synthetic workload and emit a metrics
-  snapshot plus a trace file; subcommands ``explain`` and ``regress``
-  (see :mod:`repro.obs.cli`).
+  snapshot plus a trace file (``--telemetry`` adds the full
+  operational layer); subcommands ``explain``, ``regress``, ``watch``
+  and ``slo`` (see :mod:`repro.obs.cli`).
 
 Quick start::
 
@@ -42,7 +57,18 @@ from __future__ import annotations
 
 import logging
 
-from repro.obs import explain, export, flight, metrics, slog, tracing
+from repro.obs import (
+    explain,
+    export,
+    flight,
+    metrics,
+    profiler,
+    resources,
+    slo,
+    slog,
+    timeseries,
+    tracing,
+)
 from repro.obs.explain import (
     DiagnosticsCollector,
     ExplainReport,
@@ -50,10 +76,23 @@ from repro.obs.explain import (
 )
 from repro.obs.export import (
     MetricsServer,
+    render_openmetrics,
     render_prometheus,
     snapshot,
+    timeseries_payload,
     write_json,
 )
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.resources import ResourceSampler
+from repro.obs.slo import (
+    AvailabilitySLO,
+    BurnRateAlert,
+    LatencySLO,
+    default_slos,
+    evaluate_slos,
+    load_slos,
+)
+from repro.obs.timeseries import Sampler, TimeSeriesRing
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
@@ -78,14 +117,24 @@ from repro.obs.tracing import (
 logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __all__ = [
+    "AvailabilitySLO",
+    "BurnRateAlert",
     "DEFAULT_LATENCY_BUCKETS",
     "DiagnosticsCollector",
     "ExplainReport",
+    "LatencySLO",
     "MetricsRegistry",
     "MetricsServer",
     "PhaseRecorder",
     "QueryPlan",
+    "ResourceSampler",
+    "Sampler",
+    "SamplingProfiler",
+    "TimeSeriesRing",
     "chrome_trace",
+    "default_slos",
+    "evaluate_slos",
+    "load_slos",
     "current_trace_id",
     "enabled_tracing",
     "explain",
@@ -94,14 +143,20 @@ __all__ = [
     "log_buckets",
     "metrics",
     "new_trace_id",
+    "profiler",
     "recorder",
     "registry",
+    "render_openmetrics",
     "render_prometheus",
+    "resources",
     "scoped_registry",
     "set_enabled",
+    "slo",
     "slog",
     "snapshot",
     "span",
+    "timeseries",
+    "timeseries_payload",
     "trace",
     "trace_scope",
     "tracing",

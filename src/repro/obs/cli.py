@@ -22,12 +22,26 @@ Run::
 
     PYTHONPATH=src python -m repro.obs --smoke --out-dir obs_out
 
-Two subcommands ride alongside the workload runner:
+``--telemetry`` turns on the full operational layer for the run: a
+:class:`~repro.obs.timeseries.TimeSeriesRing` fed by the resource
+sampler, exemplars on latency histograms, the continuous profiler with
+flight-recorder-triggered captures, and four extra artifacts
+(``timeseries.json``, ``dashboard.html``, ``flamegraph.txt``,
+``slo_verdict.json``).  With ``--serve`` the endpoint also exposes
+``/dashboard``, ``/timeseries.json``, ``/openmetrics``,
+``/flight.json`` and ``/flamegraph.txt``.
+
+Subcommands ride alongside the workload runner:
 
 * ``python -m repro.obs explain`` — EXPLAIN/ANALYZE one query against a
   synthetic dataset and print the plan (table or ``--json``);
 * ``python -m repro.obs regress`` — the perf-regression sentinel (see
-  :mod:`repro.obs.regress`).
+  :mod:`repro.obs.regress`);
+* ``python -m repro.obs watch`` — live terminal view polling a running
+  server's ``/timeseries.json``;
+* ``python -m repro.obs slo`` — run a workload and evaluate committed
+  SLO definitions against it; exits non-zero on an exhausted error
+  budget (or a firing burn-rate alert with ``--fail-on any``).
 """
 
 from __future__ import annotations
@@ -89,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="record every query in the flight recorder "
                              "(latency threshold 0) and dump JSONL here")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="full operational layer: time-series ring + "
+                             "resource sampler + exemplars + triggered "
+                             "profiler + SLO verdict; writes "
+                             "timeseries.json, dashboard.html, "
+                             "flamegraph.txt, slo_verdict.json")
+    parser.add_argument("--slo-file", type=Path, default=None,
+                        help="SLO definitions JSON for --telemetry "
+                             "(default: built-in SLOs)")
+    parser.add_argument("--sample-interval", type=float, default=0.25,
+                        help="telemetry ring sampling interval in seconds")
     parser.add_argument("--log-level", default=None,
                         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
                         help="configure stdlib logging to stderr")
@@ -160,6 +185,188 @@ def run_explain(args) -> int:
         )
     print(report.plan.to_json() if args.json else report.plan.render())
     return 0
+
+
+def build_watch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs watch",
+        description="Live terminal view of a running telemetry endpoint.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="base URL of a MetricsServer started with a "
+                             "time-series ring, e.g. http://127.0.0.1:9100")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N polls (0 = until interrupted)")
+    return parser
+
+
+def render_watch(payload: dict) -> str:
+    """Render one ``/timeseries.json`` payload as a terminal snapshot.
+
+    Pure function (no I/O) so tests can assert on the layout directly.
+    """
+    lines = [
+        f"repro telemetry — {payload.get('slots', 0)}/"
+        f"{payload.get('capacity', 0)} slots, "
+        f"{payload.get('samples_taken', 0)} samples",
+        "",
+        f"  {'window':>8}  {'span':>7}  {'qps':>8}  "
+        f"{'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}",
+    ]
+    windows = payload.get("windows", {})
+    for key in sorted(windows, key=int):
+        win = windows[key]
+        rate = (win.get("rates") or {}).get("repro_queries_total")
+        hist = (win.get("hist") or {}).get("repro_query_seconds") or {}
+
+        def _ms(value):
+            return f"{value * 1e3:8.2f}" if value is not None else f"{'-':>8}"
+
+        rate_s = f"{rate:8.1f}" if rate is not None else f"{'-':>8}"
+        lines.append(
+            f"  {key + 's':>8}  {win.get('span_s', 0.0):6.1f}s  {rate_s}  "
+            f"{_ms(hist.get('p50'))}  {_ms(hist.get('p95'))}  "
+            f"{_ms(hist.get('p99'))}"
+        )
+    timeline = payload.get("timeline") or []
+    gauges = (timeline[-1].get("gauges") if timeline else None) or {}
+    if gauges:
+        lines.append("")
+        lines.append("  resources:")
+        for name in sorted(gauges):
+            value = gauges[name]
+            short = name.removeprefix("repro_resource_")
+            if name.endswith("_bytes") and value is not None:
+                shown = f"{value / (1 << 20):.1f} MiB"
+            elif value is None:
+                shown = "-"
+            else:
+                shown = f"{value:.0f}"
+            lines.append(f"    {short:<24} {shown}")
+    verdicts = (payload.get("slo") or {}).get("slos") or []
+    if verdicts:
+        lines.append("")
+        lines.append("  SLOs:")
+        for verdict in verdicts:
+            budget = verdict["error_budget"]
+            state = (
+                "FIRING" if verdict["firing"]
+                else "EXHAUSTED" if budget["exhausted"]
+                else "ok"
+            )
+            lines.append(
+                f"    {verdict['slo']:<28} {state:<10} "
+                f"budget {budget['consumed_fraction']:6.1%} used "
+                f"({budget['consumed']:.0f}/{budget['total']:.1f})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_watch(args) -> int:
+    """Poll ``<url>/timeseries.json`` and redraw a terminal snapshot."""
+    import sys
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/timeseries.json"
+    shown = 0
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    payload = json.load(resp)
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"watch: cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            print(clear + render_watch(payload), end="", flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def build_slo_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs slo",
+        description="Run a workload and evaluate SLO definitions "
+                    "against it; non-zero exit on exhausted budget.",
+    )
+    parser.add_argument("--smoke", action="store_true", help="seconds-scale run")
+    parser.add_argument("--slo-file", type=Path, default=None,
+                        help="SLO definitions JSON (default: built-in SLOs; "
+                             "the repo commits SLO.json)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the machine-readable verdict JSON here")
+    parser.add_argument("--fail-on", default="exhausted",
+                        choices=["exhausted", "firing", "any"],
+                        help="what makes the exit status non-zero")
+    parser.add_argument("--objects", type=int, default=8000)
+    parser.add_argument("--features", type=int, default=4000)
+    parser.add_argument("--sets", type=int, default=2)
+    parser.add_argument("--vocab", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--radius", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--algorithms", nargs="+",
+                        default=list(DEFAULT_ALGORITHMS),
+                        choices=["stps", "stds", "iss"])
+    parser.add_argument("--sample-interval", type=float, default=0.25,
+                        help="ring sampling interval in seconds")
+    return parser
+
+
+def _load_slos(path):
+    from repro.obs.slo import default_slos, load_slos
+
+    return load_slos(path) if path is not None else default_slos()
+
+
+def run_slo(args) -> int:
+    """Run the workload, evaluate SLOs over the run's ring, verdict out."""
+    import sys
+
+    from repro.obs.slo import evaluate_slos
+    from repro.obs.resources import ResourceSampler
+    from repro.obs.timeseries import TimeSeriesRing
+
+    if args.smoke:
+        _apply_smoke(args)
+    slos = _load_slos(args.slo_file)
+    ring = TimeSeriesRing()
+    with ResourceSampler(ring, interval_s=args.sample_interval):
+        run_workload(args)
+    verdict = evaluate_slos(slos, ring)
+    print(json.dumps(verdict, indent=2))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(verdict, indent=2) + "\n")
+    failed = {
+        "exhausted": verdict["exhausted"],
+        "firing": verdict["firing"],
+        "any": verdict["exhausted"] or verdict["firing"],
+    }[args.fail_on]
+    if failed:
+        print(
+            f"SLO verdict: FAILED (--fail-on {args.fail_on})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _apply_smoke(args) -> None:
+    args.objects = min(args.objects, 2000)
+    args.features = min(args.features, 1000)
+    args.queries = min(args.queries, 6)
+    args.repeats = min(args.repeats, 2)
 
 
 def _publish_index_gauges(processor, registry: metrics.MetricsRegistry) -> None:
@@ -262,6 +469,10 @@ def main(argv=None) -> int:
         from repro.obs import regress
 
         return regress.main(argv[1:])
+    if argv and argv[0] == "watch":
+        return run_watch(build_watch_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "slo":
+        return run_slo(build_slo_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.log_level:
         logging.basicConfig(
@@ -269,16 +480,31 @@ def main(argv=None) -> int:
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
     if args.smoke:
-        args.objects = min(args.objects, 2000)
-        args.features = min(args.features, 1000)
-        args.queries = min(args.queries, 6)
-        args.repeats = min(args.repeats, 2)
+        _apply_smoke(args)
 
     out_dir = args.out_dir
     out_dir.mkdir(parents=True, exist_ok=True)
     trace_out = args.trace_out or out_dir / "obs_trace.json"
     metrics_out = args.metrics_out or out_dir / "obs_metrics.prom"
     json_out = args.json_out or out_dir / "obs_metrics.json"
+
+    ring = sampler = slos = None
+    if args.telemetry:
+        from repro.obs import profiler as profiler_mod
+        from repro.obs.resources import ResourceSampler
+        from repro.obs.timeseries import TimeSeriesRing
+
+        slos = _load_slos(args.slo_file)
+        ring = TimeSeriesRing()
+        sampler = ResourceSampler(ring, interval_s=args.sample_interval)
+        metrics.set_exemplars(True)
+        profiler_mod.install()
+        if args.flight_out is None:
+            # Exemplars/profiler captures join on the flight recorder,
+            # so telemetry mode records every query (threshold 0).
+            flight.clear()
+            flight.configure(enabled_=True, latency_threshold_s=0.0)
+        sampler.start()
 
     tracing.clear()
     previous = tracing.set_enabled(
@@ -291,12 +517,44 @@ def main(argv=None) -> int:
         summary = run_workload(args)
     finally:
         tracing.set_enabled(previous)
-        if args.flight_out is not None:
+        if sampler is not None:
+            sampler.stop()
+        if args.telemetry:
+            metrics.set_exemplars(False)
+        if args.flight_out is not None and not args.telemetry:
             flight.configure(enabled_=False)
 
     metrics_out.write_text(export.render_prometheus())
     export.write_json(json_out)
     print(f"wrote {metrics_out} and {json_out}")
+    if args.telemetry:
+        from repro.obs import profiler as profiler_mod
+        from repro.obs.slo import evaluate_slos
+
+        om_out = out_dir / "obs_metrics.om"
+        om_out.write_text(export.render_openmetrics())
+        ts_out = out_dir / "timeseries.json"
+        ts_out.write_text(
+            json.dumps(export.timeseries_payload(ring, slos=slos)) + "\n"
+        )
+        dash_out = out_dir / "dashboard.html"
+        dash_out.write_text(export.DASHBOARD_HTML)
+        verdict = evaluate_slos(slos, ring)
+        slo_out = out_dir / "slo_verdict.json"
+        slo_out.write_text(json.dumps(verdict, indent=2) + "\n")
+        prof = profiler_mod.get()
+        flame_out = out_dir / "flamegraph.txt"
+        if prof is not None:
+            prof.write_collapsed(flame_out)
+        print(
+            f"wrote {om_out}, {ts_out}, {dash_out}, {slo_out}, {flame_out}"
+        )
+        state = (
+            "FIRING" if verdict["firing"]
+            else "budget exhausted" if verdict["exhausted"]
+            else "ok"
+        )
+        print(f"SLO verdict: {state} ({len(verdict['slos'])} SLOs)")
     if args.flight_out is not None:
         flight.dump_jsonl(args.flight_out)
         print(
@@ -324,18 +582,30 @@ def main(argv=None) -> int:
             print(f"        {phase:<32} {seconds:.4f}s")
 
     if args.serve is not None:
-        server = export.MetricsServer(port=args.serve).start()
+        server = export.MetricsServer(
+            port=args.serve, ring=ring, slos=slos
+        ).start()
         print(
             f"serving metrics on http://127.0.0.1:{server.port}/metrics "
-            "(Ctrl-C to stop)"
+            + ("(and /dashboard, /timeseries.json) " if ring is not None else "")
+            + "(Ctrl-C to stop)"
         )
+        if sampler is not None:
+            sampler.start()  # keep the ring moving while serving
         try:
             while True:
                 time.sleep(1.0)
         except KeyboardInterrupt:
             pass
         finally:
+            if sampler is not None:
+                sampler.stop()
             server.close()
+    if args.telemetry:
+        from repro.obs import profiler as profiler_mod
+
+        profiler_mod.uninstall()
+        flight.configure(enabled_=False)
     return 0
 
 

@@ -1,20 +1,32 @@
-"""Metric exporters: Prometheus text exposition, JSON, scrape endpoint.
+"""Metric exporters: Prometheus text, OpenMetrics, JSON, scrape endpoint.
 
-Three ways to get the contents of a :class:`~repro.obs.metrics.MetricsRegistry`
+Ways to get the contents of a :class:`~repro.obs.metrics.MetricsRegistry`
 out of the process:
 
 * :func:`render_prometheus` — the Prometheus text exposition format
   (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample line per
   series, histograms as cumulative ``_bucket{le=...}`` series plus
   ``_sum`` / ``_count``;
+* :func:`render_openmetrics` — the same samples in OpenMetrics syntax
+  with **exemplars**: histogram bucket lines carry
+  ``# {trace_id="..."} value ts`` suffixes when exemplar capture was on
+  (:func:`repro.obs.metrics.set_exemplars`), so a p99 bucket deep-links
+  to the flight-recorder entry / profiler capture with that trace id.
+  Kept separate from :func:`render_prometheus` so strict 0.0.4
+  consumers never see exemplar suffixes;
 * :func:`snapshot` / :func:`write_json` — a JSON document with the same
-  information plus the p50/p95/p99 summaries, convenient for benchmark
-  artifacts and tests;
+  information plus the p50/p95/p99 summaries and exemplars, convenient
+  for benchmark artifacts and tests;
 * :class:`MetricsServer` — an optional scrape endpoint on stdlib
-  ``http.server`` (no third-party dependency): ``GET /metrics`` returns
-  the text exposition, ``GET /metrics.json`` the JSON snapshot.  The
-  server runs on a daemon thread; pass ``port=0`` to bind an ephemeral
-  port (see ``server.port``).
+  ``http.server`` (no third-party dependency).  Paths: ``/metrics``
+  (text exposition), ``/openmetrics`` (exemplars), ``/metrics.json``,
+  ``/healthz``, and — when the server is given a time-series ring —
+  ``/timeseries.json`` (windowed rates/quantiles + SLO verdicts) and
+  ``/dashboard`` (a self-contained HTML page polling it); plus
+  ``/flight.json`` (flight-recorder ring) and ``/flamegraph.txt``
+  (collapsed stacks from the installed profiler).  The server runs on a
+  daemon thread; pass ``port=0`` to bind an ephemeral port (see
+  ``server.port``).
 """
 
 from __future__ import annotations
@@ -26,12 +38,33 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
 CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_OPENMETRICS = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Default series surfaced by ``/timeseries.json`` and the dashboard.
+DEFAULT_TIMELINE = {
+    "counters": (
+        "repro_queries_total",
+        "repro_executor_failures_total",
+        "repro_features_pulled_total",
+    ),
+    "histograms": ("repro_query_seconds",),
+    "gauges": (
+        "repro_resource_rss_bytes",
+        "repro_resource_threads",
+        "repro_resource_executor_queue_depth",
+        "repro_resource_node_cache_bytes",
+        "repro_resource_shm_bytes",
+    ),
+}
 
 
 # ----------------------------------------------------------------------
@@ -97,6 +130,59 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def render_openmetrics(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in OpenMetrics syntax, exemplars included.
+
+    Sample lines match :func:`render_prometheus`; the differences are
+    the trailing ``# EOF`` marker and ``# {trace_id="..."} value ts``
+    exemplar suffixes on histogram bucket lines.  An exemplar is
+    attached to the *cumulative* bucket line of the bucket its
+    observation actually landed in, per the OpenMetrics exposition
+    rules.
+    """
+    if registry is None:
+        registry = _metrics.registry()
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type_name}")
+        for labelvalues, child in family.series():
+            labels = _label_str(family.labelnames, labelvalues)
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                exemplars = {
+                    idx: (value, trace_id, ts)
+                    for idx, value, trace_id, ts in child.exemplars()
+                }
+                cumulative = child.cumulative_counts()
+                bounds = [*child.buckets, math.inf]
+                for i, (bound, count) in enumerate(zip(bounds, cumulative)):
+                    le = _label_str(
+                        family.labelnames,
+                        labelvalues,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    line = f"{family.name}_bucket{le} {count}"
+                    ex = exemplars.get(i)
+                    if ex is not None:
+                        value, trace_id, ts = ex
+                        line += (
+                            f' # {{trace_id="{_escape_label_value(trace_id)}"}}'
+                            f" {_format_value(value)} {ts:.3f}"
+                        )
+                    lines.append(line)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 # ----------------------------------------------------------------------
 # JSON snapshots
 # ----------------------------------------------------------------------
@@ -112,18 +198,28 @@ def snapshot(registry: MetricsRegistry | None = None) -> dict:
             if isinstance(child, (Counter, Gauge)):
                 series.append({"labels": labels, "value": child.value})
             elif isinstance(child, Histogram):
-                series.append(
-                    {
-                        "labels": labels,
-                        "count": child.count,
-                        "sum": child.sum,
-                        "buckets": list(child.buckets),
-                        "bucket_counts": child.bucket_counts(),
-                        "p50": child.p50,
-                        "p95": child.p95,
-                        "p99": child.p99,
-                    }
-                )
+                entry = {
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": list(child.buckets),
+                    "bucket_counts": child.bucket_counts(),
+                    "p50": child.p50,
+                    "p95": child.p95,
+                    "p99": child.p99,
+                }
+                exemplars = child.exemplars()
+                if exemplars:
+                    entry["exemplars"] = [
+                        {
+                            "bucket_index": idx,
+                            "value": value,
+                            "trace_id": trace_id,
+                            "ts": ts,
+                        }
+                        for idx, value, trace_id, ts in exemplars
+                    ]
+                series.append(entry)
         out[family.name] = {
             "type": family.type_name,
             "help": family.help,
@@ -140,19 +236,254 @@ def write_json(path, registry: MetricsRegistry | None = None) -> Path:
 
 
 # ----------------------------------------------------------------------
+# time-series payload + dashboard
+# ----------------------------------------------------------------------
+def timeseries_payload(
+    ring,
+    slos=None,
+    timeline_spec: dict | None = None,
+    max_slots: int = 300,
+) -> dict:
+    """The ``/timeseries.json`` document: timeline + windows + verdicts.
+
+    ``ring`` is a :class:`~repro.obs.timeseries.TimeSeriesRing`;
+    ``slos`` an optional list of :class:`~repro.obs.slo.SLO` objects
+    whose verdicts are embedded under ``"slo"``.
+    """
+    spec = timeline_spec or DEFAULT_TIMELINE
+    payload: dict = {
+        "samples_taken": ring.samples_taken,
+        "slots": len(ring),
+        "capacity": ring.capacity,
+        "timeline": ring.timeline(
+            counter_names=spec.get("counters", ()),
+            hist_names=spec.get("histograms", ()),
+            gauge_names=spec.get("gauges", ()),
+            max_slots=max_slots,
+        ),
+        "windows": {},
+    }
+    for window_s in (10.0, 60.0, 300.0):
+        win: dict = {"span_s": ring.window_span(window_s)}
+        for name in spec.get("counters", ()):
+            win.setdefault("rates", {})[name] = ring.rate(name, window_s)
+        for name in spec.get("histograms", ()):
+            win.setdefault("hist", {})[name] = {
+                "count": ring.window_count(name, window_s),
+                "p50": ring.window_quantile(name, 0.5, window_s),
+                "p95": ring.window_quantile(name, 0.95, window_s),
+                "p99": ring.window_quantile(name, 0.99, window_s),
+            }
+        payload["windows"][str(int(window_s))] = win
+    if slos:
+        from repro.obs.slo import evaluate_slos
+
+        payload["slo"] = evaluate_slos(list(slos), ring)
+    return payload
+
+
+#: Self-contained operations dashboard: no external assets, polls
+#: ``/timeseries.json`` and renders QPS / latency quantiles / resource
+#: gauges on <canvas>, plus SLO budget cards.  Served at ``/dashboard``.
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro — operational telemetry</title>
+<style>
+  :root { --bg:#0f1117; --panel:#181b24; --fg:#d6d8e0; --dim:#7a7f8e;
+          --acc:#4fc3f7; --warn:#ffb74d; --bad:#ef5350; --ok:#66bb6a; }
+  body { background:var(--bg); color:var(--fg); margin:0;
+         font:13px/1.45 system-ui, sans-serif; }
+  header { padding:12px 20px; border-bottom:1px solid #262a36;
+           display:flex; align-items:baseline; gap:14px; }
+  header h1 { font-size:15px; margin:0; font-weight:600; }
+  header .sub { color:var(--dim); font-size:12px; }
+  .grid { display:grid; gap:14px; padding:16px 20px;
+          grid-template-columns:repeat(auto-fit, minmax(340px, 1fr)); }
+  .panel { background:var(--panel); border:1px solid #262a36;
+           border-radius:8px; padding:12px 14px; }
+  .panel h2 { font-size:12px; margin:0 0 8px; color:var(--dim);
+              text-transform:uppercase; letter-spacing:.06em; }
+  canvas { width:100%; height:120px; display:block; }
+  .big { font-size:22px; font-weight:600; }
+  .cards { display:flex; flex-wrap:wrap; gap:10px; }
+  .card { flex:1 1 150px; background:#11141c; border-radius:6px;
+          padding:8px 10px; border:1px solid #232734; }
+  .card .name { color:var(--dim); font-size:11px; }
+  .bar { height:6px; background:#232734; border-radius:3px;
+         margin-top:6px; overflow:hidden; }
+  .bar i { display:block; height:100%; background:var(--ok); }
+  .firing { color:var(--bad); font-weight:600; }
+  .okay { color:var(--ok); }
+  table { width:100%; border-collapse:collapse; font-size:12px; }
+  td { padding:2px 6px 2px 0; color:var(--fg); }
+  td.k { color:var(--dim); }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro telemetry</h1>
+  <span class="sub" id="meta">connecting&hellip;</span>
+</header>
+<div class="grid">
+  <div class="panel"><h2>Queries / s</h2>
+    <div class="big" id="qps">&ndash;</div><canvas id="c_qps"></canvas></div>
+  <div class="panel"><h2>Latency p50 / p95 / p99 (ms)</h2>
+    <div class="big" id="lat">&ndash;</div><canvas id="c_lat"></canvas></div>
+  <div class="panel"><h2>SLO error budgets</h2>
+    <div class="cards" id="slo"></div></div>
+  <div class="panel"><h2>Resources</h2>
+    <table id="res"></table><canvas id="c_rss"></canvas></div>
+</div>
+<script>
+"use strict";
+const fmt = (v, d=1) => v == null ? "–" : (+v).toFixed(d);
+const fmtB = v => v >= 1<<30 ? fmt(v/(1<<30))+" GiB"
+                : v >= 1<<20 ? fmt(v/(1<<20))+" MiB"
+                : v >= 1024  ? fmt(v/1024)+" KiB" : fmt(v,0)+" B";
+function line(canvas, seriesList, colors) {
+  const ctx = canvas.getContext("2d");
+  const W = canvas.width = canvas.clientWidth * devicePixelRatio;
+  const H = canvas.height = canvas.clientHeight * devicePixelRatio;
+  ctx.clearRect(0, 0, W, H);
+  let max = 0;
+  for (const s of seriesList) for (const v of s) if (v > max) max = v;
+  if (max <= 0) max = 1;
+  seriesList.forEach((s, si) => {
+    if (s.length < 2) return;
+    ctx.beginPath();
+    ctx.strokeStyle = colors[si];
+    ctx.lineWidth = 1.5 * devicePixelRatio;
+    s.forEach((v, i) => {
+      const x = i / (s.length - 1) * (W - 4) + 2;
+      const y = H - 3 - (v / max) * (H - 8);
+      i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+    });
+    ctx.stroke();
+  });
+  ctx.fillStyle = "#7a7f8e";
+  ctx.font = `${10 * devicePixelRatio}px system-ui`;
+  ctx.fillText(fmt(max, max < 10 ? 2 : 0), 4, 11 * devicePixelRatio);
+}
+async function tick() {
+  let d;
+  try {
+    d = await (await fetch("timeseries.json")).json();
+  } catch (e) {
+    document.getElementById("meta").textContent = "disconnected — " + e;
+    return;
+  }
+  const tl = d.timeline || [];
+  document.getElementById("meta").textContent =
+    `${d.slots}/${d.capacity} slots · ${d.samples_taken} samples · ` +
+    new Date().toLocaleTimeString();
+  const qpsSeries = tl.map(s =>
+    (s.rates || {})["repro_queries_total"] || 0);
+  const w60 = (d.windows || {})["60"] || {};
+  document.getElementById("qps").textContent =
+    fmt(((w60.rates || {})["repro_queries_total"]), 1) + " qps (60 s)";
+  line(document.getElementById("c_qps"), [qpsSeries], ["#4fc3f7"]);
+  const h = s => ((s.hist || {})["repro_query_seconds"] || {});
+  const p50 = tl.map(s => (h(s).p50 || 0) * 1e3);
+  const p95 = tl.map(s => (h(s).p95 || 0) * 1e3);
+  const p99 = tl.map(s => (h(s).p99 || 0) * 1e3);
+  const wh = ((w60.hist || {})["repro_query_seconds"]) || {};
+  document.getElementById("lat").textContent =
+    `${fmt(wh.p50 * 1e3)} / ${fmt(wh.p95 * 1e3)} / ${fmt(wh.p99 * 1e3)}`;
+  line(document.getElementById("c_lat"), [p50, p95, p99],
+       ["#66bb6a", "#ffb74d", "#ef5350"]);
+  const sloDiv = document.getElementById("slo");
+  sloDiv.innerHTML = "";
+  for (const v of ((d.slo || {}).slos || [])) {
+    const b = v.error_budget;
+    const used = Math.min(1, Math.max(0, b.consumed_fraction));
+    const cls = v.firing || b.exhausted ? "firing" : "okay";
+    const card = document.createElement("div");
+    card.className = "card";
+    card.innerHTML =
+      `<div class="name">${v.slo}</div>` +
+      `<div class="${cls}">${v.firing ? "FIRING" :
+         b.exhausted ? "BUDGET EXHAUSTED" : "ok"}</div>` +
+      `<div class="bar"><i style="width:${(used * 100).toFixed(1)}%;` +
+      `background:${used > 0.9 ? "#ef5350" : used > 0.6 ? "#ffb74d" :
+         "#66bb6a"}"></i></div>` +
+      `<div class="name">${fmt(b.consumed, 0)}/${fmt(b.total, 1)} ` +
+      `budget · ${fmt(v.total, 0)} events</div>`;
+    sloDiv.appendChild(card);
+  }
+  const last = tl.length ? tl[tl.length - 1] : {};
+  const g = last.gauges || {};
+  const rows = [
+    ["RSS", fmtB(g["repro_resource_rss_bytes"] || 0)],
+    ["threads", fmt(g["repro_resource_threads"], 0)],
+    ["executor queue", fmt(g["repro_resource_executor_queue_depth"], 0)],
+    ["node-cache bytes", fmtB(g["repro_resource_node_cache_bytes"] || 0)],
+    ["/dev/shm", fmtB(g["repro_resource_shm_bytes"] || 0)],
+  ];
+  document.getElementById("res").innerHTML = rows.map(
+    ([k, v]) => `<tr><td class="k">${k}</td><td>${v}</td></tr>`).join("");
+  const rss = tl.map(s =>
+    ((s.gauges || {})["repro_resource_rss_bytes"] || 0) / (1 << 20));
+  line(document.getElementById("c_rss"), [rss], ["#4fc3f7"]);
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+# ----------------------------------------------------------------------
 # scrape endpoint
 # ----------------------------------------------------------------------
 class _Handler(BaseHTTPRequestHandler):
     registry: MetricsRegistry  # set by MetricsServer
+    ring = None                # TimeSeriesRing | None
+    slos = None                # list[SLO] | None
+    timeline_spec = None       # dict | None
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0]
         if path in ("/metrics", "/"):
             body = render_prometheus(self.registry).encode()
             content_type = CONTENT_TYPE_PROMETHEUS
+        elif path == "/openmetrics":
+            body = render_openmetrics(self.registry).encode()
+            content_type = CONTENT_TYPE_OPENMETRICS
         elif path == "/metrics.json":
             body = (json.dumps(snapshot(self.registry)) + "\n").encode()
             content_type = "application/json"
+        elif path == "/timeseries.json" and self.ring is not None:
+            payload = timeseries_payload(
+                self.ring, slos=self.slos, timeline_spec=self.timeline_spec
+            )
+            body = (json.dumps(payload) + "\n").encode()
+            content_type = "application/json"
+        elif path == "/dashboard" and self.ring is not None:
+            body = DASHBOARD_HTML.encode()
+            content_type = "text/html; charset=utf-8"
+        elif path == "/flight.json":
+            payload = {
+                "stats": _flight.stats(),
+                "records": [r.to_dict() for r in _flight.records()],
+            }
+            body = (json.dumps(payload) + "\n").encode()
+            content_type = "application/json"
+        elif path == "/flamegraph.txt":
+            from repro.obs import profiler as _profiler
+
+            prof = _profiler.get()
+            if prof is None:
+                self.send_error(404, "profiler not installed")
+                return
+            counts = prof.collapsed()
+            body = "".join(
+                f"{stack} {count}\n"
+                for stack, count in sorted(counts.items())
+            ).encode()
+            content_type = "text/plain; charset=utf-8"
         elif path == "/healthz":
             body = b"ok\n"
             content_type = "text/plain"
@@ -185,9 +516,15 @@ class MetricsServer:
         registry: MetricsRegistry | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        ring=None,
+        slos=None,
+        timeline_spec: dict | None = None,
     ) -> None:
         self.registry = registry if registry is not None else _metrics.registry()
         self.host = host
+        self.ring = ring
+        self.slos = slos
+        self.timeline_spec = timeline_spec
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -202,7 +539,16 @@ class MetricsServer:
     def start(self) -> "MetricsServer":
         if self._httpd is not None:
             return self
-        handler = type("BoundHandler", (_Handler,), {"registry": self.registry})
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {
+                "registry": self.registry,
+                "ring": self.ring,
+                "slos": self.slos,
+                "timeline_spec": self.timeline_spec,
+            },
+        )
         self._httpd = ThreadingHTTPServer(
             (self.host, self._requested_port), handler
         )

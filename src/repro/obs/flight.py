@@ -34,14 +34,42 @@ from pathlib import Path
 #: Ring capacity: old records are evicted once this many are buffered.
 DEFAULT_CAPACITY = 512
 
+#: Default ceiling on one record's serialized ``plan_summary``.  Sharded
+#: EXPLAIN summaries scale with shard count; a runaway payload must not
+#: let a single record dominate the ring's memory or the JSONL dump.
+DEFAULT_PLAN_MAX_BYTES = 16 * 1024
+
 #: Module flag, read on hot paths.  Mutate only via :func:`configure`.
 enabled = False
 
 _lock = threading.Lock()
 _buffer: deque = deque(maxlen=DEFAULT_CAPACITY)
 _latency_threshold_s = 0.0
+_plan_max_bytes = DEFAULT_PLAN_MAX_BYTES
 _total_recorded = 0
 _total_evicted = 0
+
+#: Admission hooks: callables invoked (outside the ring lock) with each
+#: newly pushed :class:`QueryRecord`.  The continuous profiler registers
+#: here so admitting a slow query triggers a retroactive stack capture
+#: keyed by the record's trace id.  Hook exceptions are swallowed — the
+#: recorder must never raise into the query path.
+_hooks: list = []
+
+
+def add_hook(hook) -> None:
+    """Register an admission hook (idempotent)."""
+    if hook not in _hooks:
+        _hooks.append(hook)
+
+
+def remove_hook(hook) -> bool:
+    """Unregister an admission hook; True when it was registered."""
+    try:
+        _hooks.remove(hook)
+        return True
+    except ValueError:
+        return False
 
 
 @dataclass(slots=True)
@@ -112,14 +140,17 @@ def configure(
     enabled_: bool | None = None,
     latency_threshold_s: float | None = None,
     capacity: int | None = None,
+    plan_max_bytes: int | None = None,
 ) -> None:
     """(Re)configure the recorder.
 
     ``latency_threshold_s`` — queries at or above this latency are
     recorded (0.0 records every query; errors are always recorded).
     ``capacity`` resizes the ring, keeping the newest records.
+    ``plan_max_bytes`` caps one record's serialized plan summary;
+    oversize plans are replaced by a truncation stub on admission.
     """
-    global enabled, _latency_threshold_s, _buffer
+    global enabled, _latency_threshold_s, _buffer, _plan_max_bytes
     with _lock:
         if latency_threshold_s is not None:
             _latency_threshold_s = max(0.0, float(latency_threshold_s))
@@ -127,6 +158,12 @@ def configure(
             if capacity < 1:
                 raise ValueError(f"capacity must be >= 1, got {capacity}")
             _buffer = deque(_buffer, maxlen=int(capacity))
+        if plan_max_bytes is not None:
+            if plan_max_bytes < 1:
+                raise ValueError(
+                    f"plan_max_bytes must be >= 1, got {plan_max_bytes}"
+                )
+            _plan_max_bytes = int(plan_max_bytes)
     if enabled_ is not None:
         enabled = bool(enabled_)
 
@@ -182,13 +219,32 @@ def _plan_summary(plan) -> dict:
     return summary
 
 
+def _cap_plan(record: QueryRecord) -> None:
+    """Replace an oversize plan summary with a truncation stub."""
+    if record.plan_summary is None:
+        return
+    try:
+        size = len(json.dumps(record.plan_summary))
+    except (TypeError, ValueError):
+        record.plan_summary = {"truncated": True, "reason": "unserializable"}
+        return
+    if size > _plan_max_bytes:
+        record.plan_summary = {"truncated": True, "bytes": size}
+
+
 def _push(record: QueryRecord) -> None:
     global _total_recorded, _total_evicted
+    _cap_plan(record)
     with _lock:
         if len(_buffer) == _buffer.maxlen:
             _total_evicted += 1
         _buffer.append(record)
         _total_recorded += 1
+    for hook in list(_hooks):
+        try:
+            hook(record)
+        except Exception:  # noqa: BLE001 — never raise into the query path
+            pass
 
 
 def maybe_record(
@@ -301,12 +357,57 @@ def stats() -> dict:
         }
 
 
-def dump_jsonl(path) -> Path:
-    """Write buffered records to ``path``, one JSON object per line."""
+def _rotate(path: Path, backups: int) -> None:
+    """Shift ``path`` -> ``path.1`` -> ... -> ``path.<backups>``."""
+    oldest = path.with_name(path.name + f".{backups}")
+    if oldest.exists():
+        oldest.unlink()
+    for i in range(backups - 1, 0, -1):
+        src = path.with_name(path.name + f".{i}")
+        if src.exists():
+            src.rename(path.with_name(path.name + f".{i + 1}"))
+    if path.exists() and backups >= 1:
+        path.rename(path.with_name(path.name + ".1"))
+
+
+def dump_jsonl(
+    path,
+    append: bool = False,
+    max_bytes: int | None = None,
+    backups: int = 3,
+) -> Path:
+    """Write buffered records to ``path``, one JSON object per line.
+
+    With ``max_bytes`` set, the dump path becomes size-bounded: when the
+    write would push the file past the limit, the existing file rotates
+    to ``path.1`` (shifting older backups up to ``path.<backups>``, the
+    oldest dropped) and the dump starts a fresh file.  A single dump
+    larger than ``max_bytes`` keeps only the *newest* records that fit —
+    the ring's own eviction order.  ``append=True`` adds to the current
+    file instead of overwriting (the long-running-service shape; pair it
+    with ``clear()`` to checkpoint the ring).
+    """
     path = Path(path)
-    with path.open("w") as fh:
-        for record in records():
-            fh.write(json.dumps(record.to_dict()) + "\n")
+    lines = [json.dumps(r.to_dict()) + "\n" for r in records()]
+    if max_bytes is not None:
+        kept: list[str] = []
+        total = 0
+        for line in reversed(lines):  # newest last in `lines`
+            if total + len(line) > max_bytes:
+                break
+            kept.append(line)
+            total += len(line)
+        lines = list(reversed(kept))
+        if path.exists():
+            if not append:
+                # Overwrite mode with a byte cap keeps history: the old
+                # file shifts to ``path.1`` instead of being clobbered.
+                _rotate(path, backups)
+            elif path.stat().st_size + total > max_bytes:
+                _rotate(path, backups)
+                append = False
+    with path.open("a" if append else "w") as fh:
+        fh.writelines(lines)
     return path
 
 

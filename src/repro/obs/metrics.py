@@ -41,12 +41,41 @@ from __future__ import annotations
 import logging
 import math
 import threading
+import time
 from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
+import repro.obs.tracing as _tracing
 from repro.errors import ReproError
 
 logger = logging.getLogger(__name__)
+
+#: Module flag, read on the histogram hot path.  When on, each
+#: observation made inside an active trace scope stamps its bucket with
+#: an *exemplar* — ``(value, trace_id, unix_ts)`` — so a p99 bucket
+#: resolves to a concrete query (join the trace id against the flight
+#: recorder, Chrome-trace spans, and profiler captures).  Mutate only
+#: via :func:`set_exemplars`.
+exemplars_enabled = False
+
+
+def set_exemplars(on: bool) -> bool:
+    """Turn exemplar capture on/off; returns the previous flag."""
+    global exemplars_enabled
+    previous = exemplars_enabled
+    exemplars_enabled = bool(on)
+    return previous
+
+
+class enabled_exemplars:
+    """Context manager enabling exemplar capture for a block (tests)."""
+
+    def __enter__(self) -> None:
+        self._previous = set_exemplars(True)
+
+    def __exit__(self, *exc) -> bool:
+        set_exemplars(self._previous)
+        return False
 
 #: Default latency buckets: geometric series, 10 µs to ~84 s (factor 2).
 #: Log-spaced buckets keep relative quantile error bounded by the factor.
@@ -64,6 +93,36 @@ def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
     if count < 1:
         raise ReproError(f"bucket count must be >= 1, got {count}")
     return tuple(start * factor**i for i in range(count))
+
+
+def quantile_from_counts(
+    buckets: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Interpolated q-quantile from per-bucket (non-cumulative) counts.
+
+    The shared reconstruction rule behind :meth:`Histogram.quantile` and
+    the windowed percentiles in :mod:`repro.obs.timeseries` (which apply
+    it to bucket-count *deltas* between two snapshots).  Semantics match
+    Prometheus' ``histogram_quantile``; see :meth:`Histogram.quantile`
+    for the edge cases.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ReproError(f"quantile must be in (0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= rank:
+            if i >= len(buckets):  # +Inf bucket
+                return buckets[-1] if buckets else math.inf
+            upper = buckets[i]
+            lower = buckets[i - 1] if i > 0 else 0.0
+            inside = rank - (seen - c)
+            return lower + (upper - lower) * (inside / c)
+    return buckets[-1] if buckets else math.inf
 
 
 def _validate_name(name: str) -> None:
@@ -136,7 +195,7 @@ class Histogram:
     ``+Inf`` bucket catches the rest, exactly as Prometheus does.
     """
 
-    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, lock: threading.Lock, buckets: Sequence[float]) -> None:
         self._lock = lock
@@ -144,6 +203,9 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
         self._sum = 0.0
         self._count = 0
+        #: Per-bucket last exemplar, allocated lazily on first capture so
+        #: the common exemplars-off histogram costs no extra memory.
+        self._exemplars: list[tuple | None] | None = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -152,6 +214,13 @@ class Histogram:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+        if exemplars_enabled:
+            trace_id = _tracing.current_trace_id()
+            if trace_id is not None:
+                with self._lock:
+                    if self._exemplars is None:
+                        self._exemplars = [None] * len(self._counts)
+                    self._exemplars[idx] = (value, trace_id, time.time())
 
     @property
     def sum(self) -> float:
@@ -192,24 +261,7 @@ class Histogram:
           but their magnitude is unrepresentable.  Size buckets so the
           expected range is covered (see ``DEFAULT_LATENCY_BUCKETS``).
         """
-        if not 0.0 < q <= 1.0:
-            raise ReproError(f"quantile must be in (0, 1], got {q}")
-        counts = self.bucket_counts()
-        total = sum(counts)
-        if total == 0:
-            return 0.0
-        rank = q * total
-        seen = 0
-        for i, c in enumerate(counts):
-            seen += c
-            if seen >= rank:
-                if i >= len(self.buckets):  # +Inf bucket
-                    return self.buckets[-1] if self.buckets else math.inf
-                upper = self.buckets[i]
-                lower = self.buckets[i - 1] if i > 0 else 0.0
-                inside = rank - (seen - c)
-                return lower + (upper - lower) * (inside / c)
-        return self.buckets[-1] if self.buckets else math.inf
+        return quantile_from_counts(self.buckets, self.bucket_counts(), q)
 
     @property
     def p50(self) -> float:
@@ -223,10 +275,27 @@ class Histogram:
     def p99(self) -> float:
         return self.quantile(0.99)
 
+    def exemplars(self) -> list[tuple[int, float, str, float]]:
+        """Captured exemplars: ``(bucket_index, value, trace_id, ts)``.
+
+        One entry per bucket at most (the latest observation wins);
+        empty unless :data:`exemplars_enabled` was on during observes.
+        """
+        with self._lock:
+            if self._exemplars is None:
+                return []
+            return [
+                (i, value, trace_id, ts)
+                for i, ex in enumerate(self._exemplars)
+                if ex is not None
+                for value, trace_id, ts in (ex,)
+            ]
+
     def _reset(self) -> None:
         self._counts = [0] * (len(self.buckets) + 1)
         self._sum = 0.0
         self._count = 0
+        self._exemplars = None
 
     def _merge(self, counts: Sequence[int], sum_: float, count: int) -> None:
         """Fold another histogram's (same-bucket) state into this one.
@@ -244,6 +313,18 @@ class Histogram:
                 self._counts[i] += c
             self._sum += sum_
             self._count += count
+
+    def _merge_exemplars(self, exemplars: Sequence[tuple]) -> None:
+        """Adopt worker-captured exemplars (newest timestamp wins)."""
+        with self._lock:
+            for idx, value, trace_id, ts in exemplars:
+                if not 0 <= idx < len(self._counts):
+                    continue
+                if self._exemplars is None:
+                    self._exemplars = [None] * len(self._counts)
+                current = self._exemplars[idx]
+                if current is None or ts >= current[2]:
+                    self._exemplars[idx] = (value, trace_id, ts)
 
 
 _TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
@@ -532,7 +613,15 @@ def snapshot_state(reg: MetricsRegistry | None = None) -> dict:
                 family.labelnames,
                 family._child_kwargs["buckets"],
                 [
-                    (lv, (child.bucket_counts(), child.sum, child.count))
+                    (
+                        lv,
+                        (
+                            child.bucket_counts(),
+                            child.sum,
+                            child.count,
+                            child.exemplars(),
+                        ),
+                    )
                     for lv, child in family.series()
                 ],
             ))
@@ -567,15 +656,24 @@ def diff_state(before: dict, after: dict) -> dict:
     histograms = []
     for name, help_text, labelnames, buckets, series in after["histograms"]:
         deltas = []
-        for lv, (counts, sum_, count) in series:
+        for lv, state in series:
+            counts, sum_, count = state[0], state[1], state[2]
+            exemplars = list(state[3]) if len(state) > 3 else []
             prev = before_hist.get((name, lv))
             if prev is not None:
-                prev_counts, prev_sum, prev_count = prev
+                prev_counts, prev_sum, prev_count = prev[0], prev[1], prev[2]
+                prev_ex = {
+                    (e[0], e[1], e[2], e[3]) for e in
+                    (prev[3] if len(prev) > 3 else [])
+                }
                 counts = [c - p for c, p in zip(counts, prev_counts)]
                 sum_ = sum_ - prev_sum
                 count = count - prev_count
+                exemplars = [
+                    e for e in exemplars if tuple(e) not in prev_ex
+                ]
             if count:
-                deltas.append((lv, (counts, sum_, count)))
+                deltas.append((lv, (counts, sum_, count, exemplars)))
         if deltas:
             histograms.append((name, help_text, labelnames, buckets, deltas))
     return {"counters": counters, "histograms": histograms}
@@ -595,7 +693,8 @@ def merge_state(delta: dict, reg: MetricsRegistry | None = None) -> None:
             family.labels(**dict(zip(labelnames, lv))).inc(value)
     for name, help_text, labelnames, buckets, series in delta["histograms"]:
         family = reg.histogram(name, help_text, labelnames, buckets=buckets)
-        for lv, (counts, sum_, count) in series:
-            family.labels(**dict(zip(labelnames, lv)))._merge(
-                counts, sum_, count
-            )
+        for lv, state in series:
+            child = family.labels(**dict(zip(labelnames, lv)))
+            child._merge(state[0], state[1], state[2])
+            if len(state) > 3 and state[3]:
+                child._merge_exemplars(state[3])

@@ -281,9 +281,46 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def history_record(pairs: list[dict], timestamp: str | None = None) -> dict:
-    """One append-only JSONL line summarizing a sentinel run."""
+def slo_history_fields(verdict: dict) -> dict:
+    """Compress an ``evaluate_slos`` verdict into history-record fields.
+
+    Burn rates ride along in ``BENCH_history.jsonl`` so error-budget
+    trends are greppable next to the perf trends (never gated on here —
+    ``python -m repro.obs slo`` is the gate).
+    """
+    slos: dict[str, dict] = {}
+    for v in verdict.get("slos", []):
+        slos[v["slo"]] = {
+            "objective": v.get("objective"),
+            "budget_consumed_fraction": (
+                v.get("error_budget", {}).get("consumed_fraction")
+            ),
+            "exhausted": v.get("error_budget", {}).get("exhausted"),
+            "firing": v.get("firing"),
+            "burn_rates": {
+                a["name"]: {
+                    "long": a.get("long_burn_rate"),
+                    "short": a.get("short_burn_rate"),
+                    "firing": a.get("firing"),
+                }
+                for a in v.get("alerts", [])
+            },
+        }
     return {
+        "ok": verdict.get("ok"),
+        "firing": verdict.get("firing"),
+        "exhausted": verdict.get("exhausted"),
+        "slos": slos,
+    }
+
+
+def history_record(
+    pairs: list[dict],
+    timestamp: str | None = None,
+    slo: dict | None = None,
+) -> dict:
+    """One append-only JSONL line summarizing a sentinel run."""
+    record = {
         "schema_version": SENTINEL_SCHEMA_VERSION,
         "timestamp": timestamp or time.strftime(
             "%Y-%m-%dT%H:%M:%S%z", time.localtime()
@@ -303,6 +340,9 @@ def history_record(pairs: list[dict], timestamp: str | None = None) -> dict:
             for p in pairs
         ],
     }
+    if slo is not None:
+        record["slo"] = slo
+    return record
 
 
 def append_history(path: str | Path, record: dict) -> None:
@@ -316,9 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compare bench results against committed baselines.",
     )
     parser.add_argument(
-        "--pair", nargs=2, action="append", required=True,
+        "--pair", nargs=2, action="append", default=None,
         metavar=("BASELINE", "CURRENT"),
-        help="baseline and current bench JSON documents (repeatable)",
+        help="baseline and current bench JSON documents (repeatable; "
+             "optional when --slo-verdict is given)",
+    )
+    parser.add_argument(
+        "--slo-verdict", default=None, metavar="PATH",
+        help="an evaluate_slos verdict JSON (e.g. slo_verdict.json from "
+             "a --telemetry run); its burn-rate fields are merged into "
+             "the history record (recorded, never gated)",
     )
     parser.add_argument(
         "--history", default=None, metavar="PATH",
@@ -332,9 +379,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.pair and not args.slo_verdict:
+        parser.error("need at least one --pair (or --slo-verdict)")
+    slo_fields = None
+    if args.slo_verdict:
+        try:
+            slo_fields = slo_history_fields(load_doc(args.slo_verdict))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"sentinel: cannot read SLO verdict: {exc}")
+            return 1
     pairs: list[dict] = []
-    for baseline_path, current_path in args.pair:
+    for baseline_path, current_path in args.pair or []:
         try:
             baseline = load_doc(baseline_path)
             current = load_doc(current_path)
@@ -352,12 +409,14 @@ def main(argv: list[str] | None = None) -> int:
         "ok": ok,
         "pairs": pairs,
     }
+    if slo_fields is not None:
+        doc["slo"] = slo_fields
     if args.verdict:
         with open(args.verdict, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
     if args.history:
-        append_history(args.history, history_record(pairs))
+        append_history(args.history, history_record(pairs, slo=slo_fields))
 
     for pair in pairs:
         status = "OK  " if pair["ok"] else "FAIL"
@@ -381,6 +440,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         if pair.get("error"):
             print(f"    error: {pair['error']}")
+    if slo_fields is not None:
+        for name, row in slo_fields["slos"].items():
+            state = (
+                "FIRING" if row["firing"]
+                else "EXHAUSTED" if row["exhausted"]
+                else "ok"
+            )
+            fraction = row["budget_consumed_fraction"]
+            print(
+                f"    slo {name}: {state} "
+                f"(budget {fraction:.1%} consumed)"
+                if fraction is not None
+                else f"    slo {name}: {state}"
+            )
     print(f"sentinel: {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 

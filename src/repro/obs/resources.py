@@ -1,0 +1,167 @@
+"""Process resource sampler: RSS, fds, shm, caches, backpressure.
+
+Latency regressions rarely announce themselves in the query counters
+first — they show up as a growing RSS (cache leak), climbing fd counts,
+``/dev/shm`` segments that never get unlinked, or an executor queue that
+keeps deepening.  :func:`collect` reads those signals and publishes them
+as ``repro_resource_*`` gauges; wired as a ``pre_sample`` hook of the
+time-series :class:`~repro.obs.timeseries.Sampler`, every ring slot then
+carries a consistent point-in-time view of process health next to the
+query-rate deltas.
+
+Sources, all stdlib/procfs (no psutil in the image):
+
+* RSS and VM size from ``/proc/self/statm``;
+* open fd count from ``/proc/self/fd``;
+* shared-memory bytes from the live-segment registry
+  :mod:`repro.storage.shm` maintains (owner vs. attached split);
+* decoded-node cache occupancy/bytes and buffer-pool pages/bytes from
+  the weak instance registries in :mod:`repro.storage.node_cache` /
+  :mod:`repro.storage.buffer`;
+* executor queue depth and in-flight counts from
+  :func:`repro.core.executor.live_executors`;
+* thread count from :mod:`threading`, child processes from
+  :func:`multiprocessing.active_children`.
+
+Everything degrades to 0 when a source is unavailable (non-Linux, no
+live instances); a sampler tick never raises.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+
+from repro.obs import metrics as _metrics
+from repro.obs.timeseries import Sampler, TimeSeriesRing
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+#: Gauge names published by :func:`collect` (used by tests/docs).
+GAUGES = (
+    "repro_resource_rss_bytes",
+    "repro_resource_vm_bytes",
+    "repro_resource_open_fds",
+    "repro_resource_shm_bytes",
+    "repro_resource_shm_segments",
+    "repro_resource_node_cache_nodes",
+    "repro_resource_node_cache_bytes",
+    "repro_resource_buffer_pages",
+    "repro_resource_buffer_bytes",
+    "repro_resource_executor_queue_depth",
+    "repro_resource_executor_running",
+    "repro_resource_threads",
+    "repro_resource_child_processes",
+)
+
+
+def _read_statm() -> tuple[int, int]:
+    """(rss_bytes, vm_bytes) from procfs; (0, 0) where unavailable."""
+    try:
+        with open("/proc/self/statm") as f:
+            fields = f.read().split()
+        return int(fields[1]) * _PAGE_SIZE, int(fields[0]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0, 0
+
+
+def _count_fds() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+def collect(reg: "_metrics.MetricsRegistry | None" = None) -> dict:
+    """Sample every source and set the gauges; returns the raw values."""
+    reg = reg if reg is not None else _metrics.registry()
+    rss, vm = _read_statm()
+
+    from repro.core import executor as _executor
+    from repro.storage import buffer as _buffer
+    from repro.storage import node_cache as _node_cache
+    from repro.storage import shm as _shm
+
+    segments = _shm.live_segments()
+    caches = _node_cache.live_caches()
+    pools = _buffer.live_pools()
+    executors = _executor.live_executors()
+
+    values = {
+        "repro_resource_rss_bytes": rss,
+        "repro_resource_vm_bytes": vm,
+        "repro_resource_open_fds": _count_fds(),
+        "repro_resource_shm_bytes": sum(s for _, s, _ in segments),
+        "repro_resource_shm_segments": len(segments),
+        "repro_resource_node_cache_nodes": sum(len(c) for c in caches),
+        "repro_resource_node_cache_bytes": sum(
+            c.estimated_bytes() for c in caches
+        ),
+        "repro_resource_buffer_pages": sum(len(p) for p in pools),
+        "repro_resource_buffer_bytes": sum(
+            p.estimated_bytes() for p in pools
+        ),
+        "repro_resource_executor_queue_depth": sum(
+            e.queue_depth for e in executors
+        ),
+        "repro_resource_executor_running": sum(
+            e.running_count for e in executors
+        ),
+        "repro_resource_threads": threading.active_count(),
+        "repro_resource_child_processes": len(
+            multiprocessing.active_children()
+        ),
+    }
+    for name, value in values.items():
+        reg.gauge(name, _HELP.get(name, "")).set(float(value))
+    return values
+
+
+_HELP = {
+    "repro_resource_rss_bytes": "Resident set size of this process.",
+    "repro_resource_vm_bytes": "Virtual memory size of this process.",
+    "repro_resource_open_fds": "Open file descriptors.",
+    "repro_resource_shm_bytes":
+        "Bytes of live SharedMemoryPageFile segments mapped here.",
+    "repro_resource_shm_segments":
+        "Live SharedMemoryPageFile mappings in this process.",
+    "repro_resource_node_cache_nodes":
+        "Decoded nodes held across live NodeCache instances.",
+    "repro_resource_node_cache_bytes":
+        "Estimated heap bytes of cached decoded nodes.",
+    "repro_resource_buffer_pages":
+        "Pages held across live BufferPool instances.",
+    "repro_resource_buffer_bytes":
+        "Bytes of cached pages (pages x page size).",
+    "repro_resource_executor_queue_depth":
+        "Queries submitted but not yet picked up, all executors.",
+    "repro_resource_executor_running":
+        "Queries currently executing, all executors.",
+    "repro_resource_threads": "Live Python threads.",
+    "repro_resource_child_processes": "Live multiprocessing children.",
+}
+
+
+class ResourceSampler(Sampler):
+    """A time-series :class:`Sampler` with :func:`collect` pre-wired.
+
+    ::
+
+        ring = TimeSeriesRing()
+        with ResourceSampler(ring, interval_s=1.0):
+            ...   # every slot now carries repro_resource_* gauges
+    """
+
+    def __init__(
+        self, ring: TimeSeriesRing, interval_s: float = 1.0,
+        pre_sample=(),
+        registry: "_metrics.MetricsRegistry | None" = None,
+    ) -> None:
+        # Pin the target registry (default: the ring's, falling back to
+        # the process default) so gauges land where the ring samples.
+        target = registry if registry is not None else ring._registry
+        super().__init__(
+            ring, interval_s=interval_s,
+            pre_sample=(lambda: collect(target), *pre_sample),
+        )

@@ -1,0 +1,411 @@
+"""Windowed time-series over periodic metrics-registry snapshots.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` holds *cumulative*
+state — totals since process start.  Operations needs *rates over
+windows*: queries/s over the last minute, p99 over the last 30 s, error
+budget burned in the last 5 min.  This module bridges the two with a
+:class:`TimeSeriesRing`: a bounded ring of periodic registry snapshots,
+**delta-encoded** — each slot stores only the per-series change since
+the previous sample (zero-delta series are dropped), so a mostly-idle
+process costs a few bytes per slot.
+
+From the ring, windowed views are reconstructed by summing slot deltas:
+
+* :meth:`TimeSeriesRing.rate` — counter increase per second over a
+  window;
+* :meth:`TimeSeriesRing.delta` — raw counter increase over a window;
+* :meth:`TimeSeriesRing.window_quantile` — p50/p95/p99 reconstructed
+  from the *histogram bucket-count deltas* of the window via the shared
+  interpolation rule (:func:`repro.obs.metrics.quantile_from_counts`),
+  i.e. the quantile of observations that happened *inside* the window,
+  not since process start.  Accuracy is bounded by the histogram's
+  log-bucket factor (one bucket; see the property test).
+
+Sampling is driven by :class:`Sampler`, a daemon thread calling
+:meth:`TimeSeriesRing.sample` on an interval; ``pre_sample`` callbacks
+(e.g. :func:`repro.obs.resources.collect`) run right before each
+snapshot so point-in-time gauges land in the same slot.  ``sample`` is
+lock-cheap: one pass over the registry (taking only the per-family
+locks the exporters already take) plus one ring append under the ring
+lock — the query hot path is never touched.
+
+The SLO burn-rate engine (:mod:`repro.obs.slo`) and the ``/timeseries.json``
+/ ``/dashboard`` endpoints (:mod:`repro.obs.export`) are the consumers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import quantile_from_counts
+
+#: Default ring capacity: at the default 1 s interval this is 10 min of
+#: history, comfortably covering the default SLO windows.
+DEFAULT_CAPACITY = 600
+
+
+@dataclass(slots=True)
+class Slot:
+    """One sampling interval's worth of activity (delta-encoded).
+
+    ``counters`` maps ``(name, labelvalues)`` to the counter's increase
+    during the interval; ``hist`` maps the same key to
+    ``(bucket_count_deltas, sum_delta, count_delta)``; ``gauges`` hold
+    absolute point-in-time values (deltas of a gauge are meaningless).
+    """
+
+    ts: float            # wall clock, for display/correlation
+    mono: float          # perf_counter, for window math
+    dt: float            # seconds covered (mono - previous mono)
+    counters: dict = field(default_factory=dict)
+    hist: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+
+
+class TimeSeriesRing:
+    """Bounded ring of delta-encoded registry snapshots (module doc)."""
+
+    def __init__(
+        self,
+        registry: "_metrics.MetricsRegistry | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 2:
+            raise ReproError(f"ring capacity must be >= 2, got {capacity}")
+        # None = resolve the default registry lazily at every sample, so
+        # a scoped_registry swap is honored mid-flight.
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._slots: deque[Slot] = deque(maxlen=capacity)
+        self._last_counters: dict = {}
+        self._last_hist: dict = {}
+        self._last_mono: float | None = None
+        #: Histogram bucket bounds and label names by family name, for
+        #: windowed reconstruction and label matching.
+        self._buckets: dict[str, tuple[float, ...]] = {}
+        self._labelnames: dict[str, tuple[str, ...]] = {}
+        self._samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _resolve_registry(self) -> "_metrics.MetricsRegistry":
+        return self._registry or _metrics.registry()
+
+    def sample(self) -> Slot:
+        """Snapshot the registry and append one delta slot to the ring."""
+        reg = self._resolve_registry()
+        ts = time.time()
+        mono = time.perf_counter()
+        counters: dict = {}
+        hist: dict = {}
+        gauges: dict = {}
+        cur_counters: dict = {}
+        cur_hist: dict = {}
+        for family in reg.families():
+            kind = family.type_name
+            if kind == "histogram":
+                self._buckets.setdefault(
+                    family.name, tuple(family._child_kwargs["buckets"])
+                )
+            self._labelnames.setdefault(family.name, family.labelnames)
+            for lv, child in family.series():
+                key = (family.name, lv)
+                if kind == "counter":
+                    cur_counters[key] = child.value
+                elif kind == "gauge":
+                    gauges[key] = child.value
+                elif kind == "histogram":
+                    cur_hist[key] = (
+                        child.bucket_counts(), child.sum, child.count
+                    )
+        with self._lock:
+            for key, value in cur_counters.items():
+                delta = value - self._last_counters.get(key, 0.0)
+                if delta:
+                    counters[key] = delta
+            for key, (counts, sum_, count) in cur_hist.items():
+                prev = self._last_hist.get(key)
+                if prev is None:
+                    if count:
+                        hist[key] = (list(counts), sum_, count)
+                    continue
+                dcount = count - prev[2]
+                if dcount:
+                    hist[key] = (
+                        [c - p for c, p in zip(counts, prev[0])],
+                        sum_ - prev[1],
+                        dcount,
+                    )
+            dt = mono - self._last_mono if self._last_mono is not None else 0.0
+            slot = Slot(
+                ts=ts, mono=mono, dt=max(0.0, dt),
+                counters=counters, hist=hist, gauges=gauges,
+            )
+            self._slots.append(slot)
+            self._last_counters = cur_counters
+            self._last_hist = cur_hist
+            self._last_mono = mono
+            self._samples_taken += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # windowed views
+    # ------------------------------------------------------------------
+    def _matches(self, name: str, lv: tuple, labels: dict | None) -> bool:
+        if labels is None:
+            return True
+        names = self._labelnames.get(name, ())
+        bound = dict(zip(names, lv))
+        return all(bound.get(k) == str(v) for k, v in labels.items())
+
+    def _window_slots(self, window_s: float) -> list[Slot]:
+        with self._lock:
+            slots = list(self._slots)
+        if not slots:
+            return []
+        horizon = slots[-1].mono - window_s
+        # A slot covers (mono - dt, mono]; include it if any part of the
+        # interval is inside the window.  The first slot has dt == 0 and
+        # only contributes gauges.
+        return [s for s in slots if s.mono > horizon]
+
+    def window_span(self, window_s: float) -> float:
+        """Seconds actually covered by the window's slots (<= window_s)."""
+        return sum(s.dt for s in self._window_slots(window_s))
+
+    def delta(
+        self, name: str, window_s: float, labels: dict | None = None
+    ) -> float:
+        """Counter increase over the window (summed across label sets)."""
+        total = 0.0
+        for slot in self._window_slots(window_s):
+            for (fam, lv), value in slot.counters.items():
+                if fam == name and self._matches(name, lv, labels):
+                    total += value
+        return total
+
+    def rate(
+        self, name: str, window_s: float = 60.0, labels: dict | None = None
+    ) -> float:
+        """Counter increase per second over the window (0.0 if no span)."""
+        span = self.window_span(window_s)
+        if span <= 0.0:
+            return 0.0
+        return self.delta(name, window_s, labels) / span
+
+    def window_hist(
+        self, name: str, window_s: float, labels: dict | None = None
+    ) -> tuple[list[int], float, int]:
+        """Summed histogram ``(bucket_deltas, sum, count)`` over the window."""
+        buckets = self._buckets.get(name)
+        n = (len(buckets) + 1) if buckets is not None else 0
+        counts = [0] * n
+        sum_ = 0.0
+        count = 0
+        for slot in self._window_slots(window_s):
+            for (fam, lv), (dcounts, dsum, dcount) in slot.hist.items():
+                if fam != name or not self._matches(name, lv, labels):
+                    continue
+                if not counts:
+                    counts = [0] * len(dcounts)
+                for i, c in enumerate(dcounts):
+                    counts[i] += c
+                sum_ += dsum
+                count += dcount
+        return counts, sum_, count
+
+    def window_quantile(
+        self,
+        name: str,
+        q: float,
+        window_s: float = 60.0,
+        labels: dict | None = None,
+    ) -> float:
+        """Interpolated q-quantile of observations inside the window."""
+        buckets = self._buckets.get(name)
+        if buckets is None:
+            return 0.0
+        counts, _, _ = self.window_hist(name, window_s, labels)
+        return quantile_from_counts(buckets, counts, q)
+
+    def window_count(
+        self, name: str, window_s: float, labels: dict | None = None
+    ) -> int:
+        """Histogram observation count inside the window."""
+        return self.window_hist(name, window_s, labels)[2]
+
+    def latest_gauge(
+        self, name: str, labels: dict | None = None
+    ) -> float | None:
+        """Most recent gauge value (summed across matching label sets)."""
+        with self._lock:
+            slots = list(self._slots)
+        for slot in reversed(slots):
+            values = [
+                v for (fam, lv), v in slot.gauges.items()
+                if fam == name and self._matches(name, lv, labels)
+            ]
+            if values:
+                return sum(values)
+        return None
+
+    def buckets(self, name: str) -> tuple[float, ...] | None:
+        """Bucket bounds of a sampled histogram family, if seen."""
+        return self._buckets.get(name)
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    @property
+    def capacity(self) -> int:
+        return self._slots.maxlen or DEFAULT_CAPACITY
+
+    @property
+    def samples_taken(self) -> int:
+        return self._samples_taken
+
+    def slots(self) -> list[Slot]:
+        """Buffered slots, oldest first (a shallow copy)."""
+        with self._lock:
+            return list(self._slots)
+
+    def timeline(
+        self,
+        counter_names: Sequence[str] = (),
+        hist_names: Sequence[str] = (),
+        gauge_names: Sequence[str] = (),
+        quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+        max_slots: int | None = None,
+    ) -> list[dict]:
+        """Per-slot derived values for charting (``/timeseries.json``).
+
+        Each entry carries the slot timestamp plus, per requested
+        counter, its *rate* over the slot; per histogram, the slot's
+        observation count and reconstructed quantiles; per gauge, the
+        latest absolute value (summed across label sets).
+        """
+        slots = self.slots()
+        if max_slots is not None:
+            slots = slots[-max_slots:]
+        out = []
+        for slot in slots:
+            entry: dict = {"ts": slot.ts, "dt": slot.dt}
+            for name in counter_names:
+                total = sum(
+                    v for (fam, _), v in slot.counters.items() if fam == name
+                )
+                entry.setdefault("rates", {})[name] = (
+                    total / slot.dt if slot.dt > 0 else 0.0
+                )
+            for name in hist_names:
+                buckets = self._buckets.get(name)
+                counts: list[int] = []
+                count = 0
+                for (fam, _), (dcounts, _, dcount) in slot.hist.items():
+                    if fam != name:
+                        continue
+                    if not counts:
+                        counts = [0] * len(dcounts)
+                    for i, c in enumerate(dcounts):
+                        counts[i] += c
+                    count += dcount
+                h = {"count": count}
+                if buckets is not None and count:
+                    for q in quantiles:
+                        h[f"p{round(q * 100)}"] = quantile_from_counts(
+                            buckets, counts, q
+                        )
+                entry.setdefault("hist", {})[name] = h
+            for name in gauge_names:
+                values = [
+                    v for (fam, _), v in slot.gauges.items() if fam == name
+                ]
+                if values:
+                    entry.setdefault("gauges", {})[name] = sum(values)
+            out.append(entry)
+        return out
+
+    def clear(self) -> int:
+        """Drop all slots and delta baselines; returns #slots dropped."""
+        with self._lock:
+            n = len(self._slots)
+            self._slots.clear()
+            self._last_counters = {}
+            self._last_hist = {}
+            self._last_mono = None
+            self._samples_taken = 0
+        return n
+
+
+class Sampler:
+    """Daemon thread sampling a ring on an interval.
+
+    ``pre_sample`` callables run immediately before each snapshot (the
+    resource sampler hooks in here so its gauges land in the same slot);
+    a failing callback is disabled after the first exception rather than
+    killing the sampling loop.
+    """
+
+    def __init__(
+        self,
+        ring: TimeSeriesRing,
+        interval_s: float = 1.0,
+        pre_sample: Sequence = (),
+    ) -> None:
+        if interval_s <= 0:
+            raise ReproError(f"interval must be > 0, got {interval_s}")
+        self.ring = ring
+        self.interval_s = interval_s
+        self._pre_sample = list(pre_sample)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _tick(self) -> None:
+        for hook in list(self._pre_sample):
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 — never kill the loop
+                self._pre_sample.remove(hook)
+        self.ring.sample()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._tick()
+
+    def start(self) -> "Sampler":
+        if self._thread is None:
+            self._stop.clear()
+            self._tick()  # immediate first slot: windows work right away
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-ts-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+            self._tick()  # final slot so the tail of the run is captured
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "Sampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -61,7 +61,22 @@ _lock = threading.Lock()
 _events: list[dict] = []
 _dropped = 0
 _thread_names: dict[int, str] = {}
+#: Thread names adopted from other processes via :func:`ingest`,
+#: keyed ``(pid, tid)`` — worker tids can collide with local ones.
+_foreign_thread_names: dict[tuple[int, int], str] = {}
 _EPOCH = time.perf_counter()
+
+
+def epoch() -> float:
+    """This process's trace epoch (a ``perf_counter`` stamp).
+
+    Event timestamps are microseconds since this epoch.  On Linux,
+    ``perf_counter`` is ``CLOCK_MONOTONIC`` — the same clock in every
+    process — so a worker's events can be rebased into the parent's
+    timeline by shifting with the difference of the two epochs (see
+    :func:`ingest`).
+    """
+    return _EPOCH
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +381,60 @@ def dropped_events() -> int:
     return _dropped
 
 
+def ingest(
+    event_dicts,
+    thread_names: dict | None = None,
+    worker_epoch: float | None = None,
+) -> int:
+    """Adopt span events recorded in another process into this buffer.
+
+    The process-mode shard fan-out collects each worker's events around
+    a query and ships them back over the result channel together with
+    the worker's thread names and trace :func:`epoch`.  Timestamps are
+    rebased from the worker's epoch onto this process's (both are
+    ``CLOCK_MONOTONIC`` stamps, so the shift is exact under fork *and*
+    spawn); thread names are filed under ``(pid, tid)`` so Perfetto
+    labels the worker tracks without colliding with local thread ids.
+
+    Returns how many events were adopted; no-ops (returning 0) when
+    tracing is disabled.  Events beyond :data:`MAX_EVENTS` are counted
+    as dropped, exactly like local recording.
+    """
+    global _dropped
+    if not enabled:
+        return 0
+    shift_us = (
+        (worker_epoch - _EPOCH) * 1e6 if worker_epoch is not None else 0.0
+    )
+    n = 0
+    with _lock:
+        for event in event_dicts:
+            if len(_events) >= MAX_EVENTS:
+                _dropped += 1
+                continue
+            event = dict(event)
+            if shift_us:
+                event["ts"] = event.get("ts", 0.0) + shift_us
+            _events.append(event)
+            n += 1
+        if thread_names:
+            pid_default = os.getpid()
+            for tid, name in thread_names.items():
+                pid = pid_default
+                for event in event_dicts:
+                    if event.get("tid") == tid and "pid" in event:
+                        pid = event["pid"]
+                        break
+                _foreign_thread_names[(pid, int(tid))] = name
+    return n
+
+
+def thread_name_map() -> dict[int, str]:
+    """Local thread names observed so far (tid -> name, a copy)."""
+    with _lock:
+        return dict(_thread_names)
+
+
 def clear() -> int:
     """Drop all buffered events; returns how many were dropped."""
     global _dropped
@@ -373,6 +442,7 @@ def clear() -> int:
         n = len(_events)
         _events.clear()
         _thread_names.clear()
+        _foreign_thread_names.clear()
         _dropped = 0
     return n
 
@@ -386,6 +456,7 @@ def chrome_trace() -> dict:
     with _lock:
         trace_events = [dict(e) for e in _events]
         names = dict(_thread_names)
+        foreign = dict(_foreign_thread_names)
     pid = os.getpid()
     for tid, name in sorted(names.items()):
         trace_events.append(
@@ -393,6 +464,16 @@ def chrome_trace() -> dict:
                 "name": "thread_name",
                 "ph": "M",
                 "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for (fpid, tid), name in sorted(foreign.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": fpid,
                 "tid": tid,
                 "args": {"name": name},
             }

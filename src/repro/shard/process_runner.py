@@ -154,18 +154,36 @@ def _run_shard_query(
     explain: bool,
     flight_enabled: bool,
     flight_threshold_s: float,
+    trace_enabled: bool = False,
+    trace_verbose: bool = False,
+    exemplars: bool = False,
 ) -> dict:
     """Execute one shard query in a worker process; returns plain data.
 
     Never raises: failures come back as an error payload (with the
     pickled exception when transferable) so the metrics delta and any
     flight records survive the failure, exactly as they would in-process.
+
+    When the parent has tracing on (``trace_enabled``), the worker
+    records its own spans for this query and ships them back in the
+    payload's ``spans`` entry — events, thread names, and the worker's
+    trace epoch — so the parent can rebase them onto its timeline
+    (:func:`repro.obs.tracing.ingest`) and Chrome-trace export shows the
+    shard-worker tracks.  ``exemplars`` mirrors the parent's exemplar
+    flag so worker histogram observations carry trace ids too (they
+    travel inside the metrics delta).
     """
     _flight.configure(
         enabled_=flight_enabled, latency_threshold_s=flight_threshold_s
     )
     if flight_enabled:
         _flight.clear()
+    _tracing.set_enabled(trace_enabled, verbose_events=trace_verbose)
+    if trace_enabled:
+        # The previous query's events were already shipped; start clean
+        # so this payload carries exactly this query's spans.
+        _tracing.clear()
+    _metrics.set_exemplars(exemplars)
     collector = _explain.DiagnosticsCollector() if explain else None
     before = _metrics.snapshot_state()
     t0 = time.perf_counter()
@@ -216,6 +234,15 @@ def _run_shard_query(
             [r.to_dict() for r in _flight.records()]
             if flight_enabled
             else []
+        ),
+        "spans": (
+            {
+                "events": _tracing.events(),
+                "thread_names": _tracing.thread_name_map(),
+                "epoch": _tracing.epoch(),
+            }
+            if trace_enabled
+            else None
         ),
     }
     return payload
@@ -307,6 +334,9 @@ class ProcessShardRunner:
             explain,
             _flight.enabled,
             _flight.latency_threshold(),
+            _tracing.enabled,
+            _tracing.verbose,
+            _metrics.exemplars_enabled,
         )
 
     def close(self, wait: bool = True) -> None:

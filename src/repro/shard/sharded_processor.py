@@ -746,6 +746,13 @@ class ShardedQueryProcessor:
                 _metrics.merge_state(payload["metrics"])
                 if _flight.enabled:
                     _flight.ingest(payload["flight"], shard_id=shard_id)
+                spans = payload.get("spans")
+                if spans is not None:
+                    _tracing.ingest(
+                        spans["events"],
+                        thread_names=spans["thread_names"],
+                        worker_epoch=spans["epoch"],
+                    )
                 error = payload["error"]
                 if error is not None:
                     outcomes_metric.labels(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import weakref
 from collections import OrderedDict
 
 from repro.errors import StorageError
@@ -20,6 +21,15 @@ from repro.storage.pagefile import PageFile
 logger = logging.getLogger(__name__)
 
 DEFAULT_BUFFER_PAGES = 256
+
+#: All live pools (weak refs), for the resource sampler's occupancy
+#: gauges (:mod:`repro.obs.resources`).
+_live_pools: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
+def live_pools() -> list["BufferPool"]:
+    """Live BufferPool instances (weakly tracked)."""
+    return list(_live_pools)
 
 
 class BufferPool:
@@ -37,6 +47,12 @@ class BufferPool:
         self.capacity = capacity
         self._cache: OrderedDict[int, Page] = OrderedDict()
         self._lock = threading.Lock()
+        _live_pools.add(self)
+
+    def estimated_bytes(self) -> int:
+        """Cached pages times the page size (decoded Page overhead aside)."""
+        with self._lock:
+            return len(self._cache) * self.pagefile.page_size
 
     @property
     def stats(self):

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -38,6 +39,22 @@ logger = logging.getLogger(__name__)
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.index.nodes import Node
     from repro.storage.stats import IOStats
+
+#: All live caches (weak refs), for the resource sampler's occupancy
+#: gauges (:mod:`repro.obs.resources`).  WeakSet mutation is internally
+#: locked and dead entries vanish on GC, so no lifecycle hooks needed.
+_live_caches: "weakref.WeakSet[NodeCache]" = weakref.WeakSet()
+
+#: Rough per-entry cost of a decoded node: the entry object, its MBR
+#: floats, and dict/list slack.  An estimate for capacity planning, not
+#: an accounting truth (see ``NodeCache.estimated_bytes``).
+_ENTRY_BYTES = 200
+_NODE_BYTES = 120
+
+
+def live_caches() -> list["NodeCache"]:
+    """Live NodeCache instances (weakly tracked)."""
+    return list(_live_caches)
 
 
 class NodeCache:
@@ -58,6 +75,7 @@ class NodeCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        _live_caches.add(self)
 
     # ------------------------------------------------------------------
     # core operations
@@ -126,6 +144,13 @@ class NodeCache:
         """Hits / (hits + misses); 0.0 before any access."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def estimated_bytes(self) -> int:
+        """Rough heap bytes held by cached nodes (entries dominate)."""
+        with self._lock:
+            nodes = len(self._cache)
+            entries = sum(len(n.entries) for n in self._cache.values())
+        return nodes * _NODE_BYTES + entries * _ENTRY_BYTES
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -134,3 +134,159 @@ class TestInstrumentationNeutrality:
         else:
             assert "stds.scan_objects" in phases
             assert "stds.chunk_scan" in phases
+
+
+class TestTelemetryMode:
+    @pytest.fixture(scope="class")
+    def artifacts_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("telemetry")
+        code = main(
+            TINY + [
+                "--telemetry", "--no-trace", "--algorithms", "stps",
+                "--sample-interval", "0.05", "--out-dir", str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_writes_telemetry_artifacts(self, artifacts_dir):
+        for name in (
+            "timeseries.json", "dashboard.html", "slo_verdict.json",
+            "flamegraph.txt", "obs_metrics.om",
+        ):
+            assert (artifacts_dir / name).exists(), name
+
+    def test_timeseries_has_query_activity(self, artifacts_dir):
+        doc = json.loads((artifacts_dir / "timeseries.json").read_text())
+        assert doc["slots"] >= 2
+        deltas = [
+            s["rates"].get("repro_queries_total", 0.0) * s["dt"]
+            for s in doc["timeline"] if s.get("rates")
+        ]
+        assert sum(deltas) > 0  # the workload's queries landed in slots
+
+    def test_slo_verdict_budget_math_consistent(self, artifacts_dir):
+        doc = json.loads((artifacts_dir / "slo_verdict.json").read_text())
+        assert {"slos", "firing", "exhausted", "ok"} <= set(doc)
+        for verdict in doc["slos"]:
+            budget = verdict["error_budget"]
+            assert verdict["total"] == verdict["good"] + verdict["bad"]
+            assert budget["total"] == pytest.approx(
+                (1 - verdict["objective"]) * verdict["total"]
+            )
+            assert budget["consumed"] == verdict["bad"]
+            assert budget["exhausted"] == (
+                budget["consumed"] > budget["total"]
+            )
+
+    def test_openmetrics_artifact_wellformed(self, artifacts_dir):
+        text = (artifacts_dir / "obs_metrics.om").read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_query_seconds_bucket" in text
+
+    def test_exemplars_and_profiler_off_after_run(self, artifacts_dir):
+        from repro.obs import profiler
+        from repro.obs.metrics import exemplars_enabled
+
+        assert not exemplars_enabled
+        assert profiler.get() is None
+
+
+class TestWatchRender:
+    def test_renders_windows_gauges_and_slos(self):
+        from repro.obs.cli import render_watch
+
+        payload = {
+            "slots": 5, "capacity": 600, "samples_taken": 5,
+            "windows": {
+                "60": {
+                    "span_s": 4.0,
+                    "rates": {"repro_queries_total": 12.5},
+                    "hist": {"repro_query_seconds": {
+                        "count": 50, "p50": 0.004, "p95": 0.02, "p99": 0.08,
+                    }},
+                },
+            },
+            "timeline": [{
+                "ts": 0.0, "dt": 1.0,
+                "gauges": {
+                    "repro_resource_rss_bytes": 64 << 20,
+                    "repro_resource_threads": 7,
+                },
+            }],
+            "slo": {"slos": [{
+                "slo": "query_latency_p95_100ms",
+                "firing": False,
+                "error_budget": {
+                    "consumed": 1, "total": 2.5,
+                    "consumed_fraction": 0.4, "exhausted": False,
+                },
+            }]},
+        }
+        text = render_watch(payload)
+        assert "repro telemetry — 5/600 slots" in text
+        assert "12.5" in text      # qps
+        assert "20.00" in text     # p95 in ms
+        assert "rss_bytes" in text and "64.0 MiB" in text
+        assert "query_latency_p95_100ms" in text and "ok" in text
+        assert "40.0% used" in text
+
+    def test_handles_empty_payload(self):
+        from repro.obs.cli import render_watch
+
+        text = render_watch({})
+        assert "repro telemetry" in text
+
+    def test_watch_against_live_server(self):
+        from repro.obs.cli import main as cli_main
+        from repro.obs.export import MetricsServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.timeseries import TimeSeriesRing
+
+        reg = MetricsRegistry()
+        ring = TimeSeriesRing(registry=reg)
+        ring.sample()
+        with MetricsServer(reg, port=0, ring=ring) as server:
+            code = cli_main([
+                "watch", "--url", f"http://127.0.0.1:{server.port}",
+                "--iterations", "1", "--interval", "0.01",
+            ])
+        assert code == 0
+
+    def test_watch_unreachable_exits_nonzero(self, capsys):
+        from repro.obs.cli import main as cli_main
+
+        code = cli_main([
+            "watch", "--url", "http://127.0.0.1:9", "--iterations", "1",
+        ])
+        assert code == 1
+
+
+class TestSloSubcommand:
+    def test_healthy_run_exits_zero(self, tmp_path):
+        out = tmp_path / "verdict.json"
+        code = main([
+            "slo", "--smoke", "--queries", "3", "--repeats", "1",
+            "--objects", "400", "--features", "200", "--vocab", "16",
+            "--algorithms", "stps", "--out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["slos"]
+
+    def test_exhausted_budget_exits_nonzero(self, tmp_path):
+        # An impossible latency SLO (nothing finishes in 100 ns) must
+        # trip the gate.
+        slo_file = tmp_path / "slo.json"
+        slo_file.write_text(json.dumps({"slos": [{
+            "name": "impossible", "kind": "latency", "objective": 0.99,
+            "metric": "repro_query_seconds", "threshold_s": 1e-7,
+            "window_s": 300.0,
+            "alerts": [],
+        }]}))
+        code = main([
+            "slo", "--smoke", "--queries", "3", "--repeats", "1",
+            "--objects", "400", "--features", "200", "--vocab", "16",
+            "--algorithms", "stps", "--slo-file", str(slo_file),
+        ])
+        assert code == 1

@@ -248,3 +248,130 @@ class TestMetricsServer:
         server = MetricsServer(reg, port=0).start()
         server.close()
         server.close()
+
+
+class TestOpenMetrics:
+    @pytest.fixture()
+    def reg_with_exemplars(self) -> MetricsRegistry:
+        from repro.obs import tracing
+        from repro.obs.metrics import enabled_exemplars
+
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_query_seconds", "Latency.", buckets=[0.01, 0.1, 1.0]
+        )
+        with enabled_exemplars():
+            with tracing.trace_scope("tr-om-1"):
+                h.observe(0.05)
+        h.observe(0.5)  # outside any trace scope: no exemplar
+        return reg
+
+    def test_bucket_lines_carry_exemplars(self, reg_with_exemplars):
+        from repro.obs.export import render_openmetrics
+
+        text = render_openmetrics(reg_with_exemplars)
+        assert text.endswith("# EOF\n")
+        exemplar_lines = [
+            line for line in text.splitlines() if "# {" in line
+        ]
+        assert len(exemplar_lines) == 1
+        line = exemplar_lines[0]
+        assert 'le="0.1"' in line
+        assert 'trace_id="tr-om-1"' in line
+        assert " 0.05 " in line
+
+    def test_prometheus_text_stays_exemplar_free(self, reg_with_exemplars):
+        # CI regex-validates every line of obs_metrics.prom; exemplars
+        # are OpenMetrics-only syntax and must never leak there.
+        text = render_prometheus(reg_with_exemplars)
+        assert "# {" not in text
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert SAMPLE_RE.match(line), line
+
+    def test_snapshot_includes_exemplars(self, reg_with_exemplars):
+        doc = snapshot(reg_with_exemplars)
+        series = doc["repro_query_seconds"]["series"][0]
+        assert len(series["exemplars"]) == 1
+        ex = series["exemplars"][0]
+        assert ex["trace_id"] == "tr-om-1"
+        assert ex["value"] == 0.05
+
+
+class TestTimeseriesEndpoints:
+    @pytest.fixture()
+    def served(self, reg):
+        from repro.obs.slo import default_slos
+        from repro.obs.timeseries import TimeSeriesRing
+
+        ring = TimeSeriesRing(registry=reg, capacity=32)
+        ring.sample()
+        reg.counter(
+            "repro_queries_total", labelnames=("algorithm",)
+        ).labels(algorithm="stps").inc(5)
+        ring.sample()
+        with MetricsServer(
+            reg, port=0, ring=ring, slos=default_slos()
+        ) as server:
+            yield f"http://127.0.0.1:{server.port}"
+
+    def test_timeseries_json(self, served):
+        with urllib.request.urlopen(
+            f"{served}/timeseries.json", timeout=5
+        ) as resp:
+            doc = json.load(resp)
+        assert doc["slots"] == 2
+        assert doc["timeline"]
+        assert set(doc["windows"]) == {"10", "60", "300"}
+        assert doc["windows"]["60"]["rates"]["repro_queries_total"] >= 0
+        assert {v["slo"] for v in doc["slo"]["slos"]} == {
+            "query_latency_p95_100ms", "query_availability",
+        }
+
+    def test_dashboard_serves_html(self, served):
+        with urllib.request.urlopen(f"{served}/dashboard", timeout=5) as resp:
+            assert resp.headers["Content-Type"].startswith("text/html")
+            body = resp.read().decode()
+        assert "timeseries.json" in body  # polls its sibling endpoint
+        assert "<canvas" in body
+
+    def test_openmetrics_endpoint(self, served):
+        from repro.obs.export import CONTENT_TYPE_OPENMETRICS
+
+        with urllib.request.urlopen(
+            f"{served}/openmetrics", timeout=5
+        ) as resp:
+            assert resp.headers["Content-Type"] == CONTENT_TYPE_OPENMETRICS
+            assert resp.read().decode().endswith("# EOF\n")
+
+    def test_flight_json(self, served):
+        with urllib.request.urlopen(f"{served}/flight.json", timeout=5) as resp:
+            doc = json.load(resp)
+        assert "stats" in doc and "records" in doc
+
+    def test_flamegraph_404_when_not_installed(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{served}/flamegraph.txt", timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_timeseries_404_without_ring(self, reg):
+        with MetricsServer(reg, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/timeseries.json",
+                    timeout=5,
+                )
+            assert excinfo.value.code == 404
+
+
+class TestTimeseriesPayload:
+    def test_payload_shape_without_slos(self, reg):
+        from repro.obs.export import timeseries_payload
+        from repro.obs.timeseries import TimeSeriesRing
+
+        ring = TimeSeriesRing(registry=reg, capacity=8)
+        ring.sample()
+        payload = timeseries_payload(ring)
+        assert payload["capacity"] == 8
+        assert "slo" not in payload
+        assert json.dumps(payload)  # must stay JSON-serializable

@@ -26,6 +26,7 @@ def clean_flight():
     flight.configure(
         enabled_=False, latency_threshold_s=0.0,
         capacity=flight.DEFAULT_CAPACITY,
+        plan_max_bytes=flight.DEFAULT_PLAN_MAX_BYTES,
     )
 
 
@@ -208,3 +209,103 @@ class TestShardedIntegration:
 
 def _boom(*args, **kwargs):
     raise RuntimeError("injected shard failure")
+
+
+class TestPlanPayloadCap:
+    def test_oversized_plan_truncated(self):
+        flight.configure(
+            enabled_=True, latency_threshold_s=0.0, plan_max_bytes=256,
+        )
+        big_plan = {"nodes": ["x" * 64] * 50}
+        record = flight.QueryRecord(
+            trace_id="t-cap", ts=0.0, algorithm="stps", variant="range",
+            pulling="p", query={}, latency_s=0.1,
+            plan_summary=big_plan,
+        )
+        flight._push(record)
+        stored = flight.records()[0]
+        assert stored.plan_summary["truncated"] is True
+        assert stored.plan_summary["bytes"] > 256
+
+    def test_small_plan_kept_intact(self):
+        flight.configure(
+            enabled_=True, latency_threshold_s=0.0, plan_max_bytes=4096,
+        )
+        plan = {"nodes": ["scan"]}
+        record = flight.QueryRecord(
+            trace_id="t-ok", ts=0.0, algorithm="stps", variant="range",
+            pulling="p", query={}, latency_s=0.1, plan_summary=plan,
+        )
+        flight._push(record)
+        assert flight.records()[0].plan_summary == plan
+
+
+class TestDumpRotation:
+    def _fill(self, n: int) -> None:
+        flight.configure(enabled_=True, latency_threshold_s=0.0)
+        for i in range(n):
+            flight.maybe_record(_query(), "stps", "p", f"t{i}", 0.5)
+
+    def test_wraparound_then_rotation(self, tmp_path):
+        # Ring wraparound first: capacity 4, 10 records -> newest 4 kept.
+        flight.configure(
+            enabled_=True, latency_threshold_s=0.0, capacity=4,
+        )
+        self._fill(10)
+        assert [r.trace_id for r in flight.records()] == [
+            "t6", "t7", "t8", "t9",
+        ]
+        path = tmp_path / "flight.jsonl"
+        # First dump: no existing file, no rotation.
+        flight.dump_jsonl(path, max_bytes=1 << 16)
+        assert not (tmp_path / "flight.jsonl.1").exists()
+        first = path.read_text()
+        # Second dump rotates the first one out instead of clobbering.
+        flight.dump_jsonl(path, max_bytes=1 << 16)
+        assert (tmp_path / "flight.jsonl.1").read_text() == first
+        # Third dump shifts .1 -> .2.
+        flight.dump_jsonl(path, max_bytes=1 << 16)
+        assert (tmp_path / "flight.jsonl.2").read_text() == first
+
+    def test_backups_bounded(self, tmp_path):
+        self._fill(2)
+        path = tmp_path / "flight.jsonl"
+        for _ in range(6):
+            flight.dump_jsonl(path, max_bytes=1 << 16, backups=2)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["flight.jsonl", "flight.jsonl.1", "flight.jsonl.2"]
+
+    def test_oversized_dump_keeps_newest_records(self, tmp_path):
+        self._fill(50)
+        path = tmp_path / "flight.jsonl"
+        one_line = len(json.dumps(flight.records()[0].to_dict())) + 1
+        flight.dump_jsonl(path, max_bytes=one_line * 3 + 10)
+        lines = path.read_text().splitlines()
+        assert 0 < len(lines) <= 4
+        # Newest survive (eviction order matches the ring's).
+        assert json.loads(lines[-1])["trace_id"] == "t49"
+        assert path.stat().st_size <= one_line * 3 + 10
+
+    def test_append_mode_rotates_at_cap(self, tmp_path):
+        self._fill(5)
+        path = tmp_path / "flight.jsonl"
+        one_dump = sum(
+            len(json.dumps(r.to_dict())) + 1 for r in flight.records()
+        )
+        cap = int(one_dump * 2.5)
+        flight.dump_jsonl(path, append=True, max_bytes=cap)
+        flight.dump_jsonl(path, append=True, max_bytes=cap)
+        assert path.stat().st_size <= cap
+        # Third append would exceed the cap: current file rotates away
+        # and the dump starts fresh.
+        flight.dump_jsonl(path, append=True, max_bytes=cap)
+        assert (tmp_path / "flight.jsonl.1").exists()
+        assert path.stat().st_size <= cap
+
+    def test_unbounded_dump_unchanged(self, tmp_path):
+        self._fill(3)
+        path = tmp_path / "flight.jsonl"
+        flight.dump_jsonl(path)
+        flight.dump_jsonl(path)  # plain overwrite, no rotation
+        assert not (tmp_path / "flight.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 3

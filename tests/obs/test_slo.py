@@ -1,0 +1,194 @@
+"""Tests for repro.obs.slo: budgets, burn rates, multi-window alerts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_ALERTS,
+    AvailabilitySLO,
+    BurnRateAlert,
+    LatencySLO,
+    default_slos,
+    evaluate_slos,
+    load_slos,
+    slo_from_dict,
+)
+from repro.obs.timeseries import TimeSeriesRing
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.histogram("repro_query_seconds", "Latency.")
+    reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+    reg.counter("repro_executor_failures_total", "Failures.", ("algorithm", "error"))
+    return reg
+
+
+def _ring_with_latencies(reg, values) -> TimeSeriesRing:
+    ring = TimeSeriesRing(registry=reg, capacity=32)
+    ring.sample()
+    h = reg.histogram("repro_query_seconds", "Latency.")
+    for v in values:
+        h.observe(v)
+    ring.sample()
+    return ring
+
+
+class TestBurnRateAlert:
+    def test_roundtrip(self):
+        alert = BurnRateAlert("fast", 60.0, 15.0, 14.4)
+        assert BurnRateAlert.from_dict(alert.to_dict()) == alert
+
+    def test_short_window_must_be_shorter(self):
+        with pytest.raises(ReproError):
+            BurnRateAlert("bad", 15.0, 60.0, 2.0)
+
+    def test_factor_positive(self):
+        with pytest.raises(ReproError):
+            BurnRateAlert("bad", 60.0, 15.0, 0.0)
+
+
+class TestLatencySLO:
+    def test_budget_accounting(self, reg):
+        # 90 fast + 10 slow with a 95% objective: budget is 5% of 100
+        # = 5 events, 10 bad events consumed 200% of it.
+        ring = _ring_with_latencies(reg, [0.005] * 90 + [0.5] * 10)
+        slo = LatencySLO(
+            "lat", objective=0.95,
+            metric="repro_query_seconds", threshold_s=0.1,
+        )
+        verdict = slo.evaluate(ring)
+        assert verdict["total"] == 100
+        assert verdict["good"] == 90
+        assert verdict["bad"] == 10
+        budget = verdict["error_budget"]
+        assert budget["total"] == pytest.approx(5.0)
+        assert budget["consumed"] == 10
+        assert budget["consumed_fraction"] == pytest.approx(2.0)
+        assert budget["exhausted"]
+        assert not verdict["ok"]
+
+    def test_all_good_within_budget(self, reg):
+        ring = _ring_with_latencies(reg, [0.005] * 50)
+        slo = LatencySLO(
+            "lat", objective=0.95,
+            metric="repro_query_seconds", threshold_s=0.1,
+        )
+        verdict = slo.evaluate(ring)
+        assert verdict["bad"] == 0
+        assert not verdict["error_budget"]["exhausted"]
+        assert not verdict["firing"]
+        assert verdict["ok"]
+
+    def test_threshold_snaps_to_bucket_bound(self, reg):
+        ring = _ring_with_latencies(reg, [0.01])
+        slo = LatencySLO(
+            "lat", objective=0.95,
+            metric="repro_query_seconds", threshold_s=0.1,
+        )
+        # 0.1 is not a log-bucket bound; the effective threshold is the
+        # nearest bound at or below it, reported so nobody is surprised.
+        assert slo.effective_threshold(ring) == pytest.approx(0.08192)
+
+    def test_burn_rate_alert_fires_only_when_both_windows_burn(self, reg):
+        # 80% of events bad against a 95% objective: burn rate
+        # (0.8 / 0.05) = 16 > 14.4, in both fast-burn windows (all
+        # activity is recent, so the 15 s and 60 s windows agree).
+        ring = _ring_with_latencies(reg, [0.005] * 2 + [0.5] * 8)
+        slo = LatencySLO(
+            "lat", objective=0.95,
+            metric="repro_query_seconds", threshold_s=0.1,
+        )
+        verdict = slo.evaluate(ring)
+        fast = next(a for a in verdict["alerts"] if a["name"] == "fast_burn")
+        assert fast["long_burn_rate"] == pytest.approx(16.0)
+        assert fast["short_burn_rate"] == pytest.approx(16.0)
+        assert fast["firing"]
+        assert verdict["firing"]
+
+    def test_objective_validated(self):
+        with pytest.raises(ReproError):
+            LatencySLO("bad", objective=1.0,
+                       metric="repro_query_seconds", threshold_s=0.1)
+
+
+class TestAvailabilitySLO:
+    def test_failures_consume_budget(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=32)
+        ring.sample()
+        total = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        bad = reg.counter(
+            "repro_executor_failures_total", "Failures.", ("algorithm", "error")
+        )
+        total.labels(algorithm="stps").inc(1000)
+        bad.labels(algorithm="stps", error="QueryError").inc(3)
+        ring.sample()
+        slo = AvailabilitySLO(
+            "avail", objective=0.999,
+            total_metric="repro_queries_total",
+            bad_metric="repro_executor_failures_total",
+        )
+        verdict = slo.evaluate(ring)
+        assert verdict["total"] == 1000
+        assert verdict["bad"] == 3
+        assert verdict["error_budget"]["total"] == pytest.approx(1.0)
+        assert verdict["error_budget"]["exhausted"]
+
+    def test_no_traffic_is_healthy(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=32)
+        ring.sample()
+        ring.sample()
+        slo = AvailabilitySLO(
+            "avail", objective=0.999,
+            total_metric="repro_queries_total",
+            bad_metric="repro_executor_failures_total",
+        )
+        verdict = slo.evaluate(ring)
+        assert verdict["total"] == 0
+        assert verdict["ok"]
+
+
+class TestSerialization:
+    def test_roundtrip_both_kinds(self):
+        for slo in default_slos():
+            clone = slo_from_dict(slo.to_dict())
+            assert clone.to_dict() == slo.to_dict()
+
+    def test_committed_slo_json_matches_defaults(self):
+        # SLO.json is the operational contract the CI gate evaluates;
+        # it must stay loadable and aligned with the code defaults.
+        loaded = load_slos("SLO.json")
+        assert [s.to_dict() for s in loaded] == [
+            s.to_dict() for s in default_slos()
+        ]
+
+    def test_load_slos_accepts_bare_list(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([s.to_dict() for s in default_slos()]))
+        assert len(load_slos(path)) == len(default_slos())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            slo_from_dict({"name": "x", "kind": "weather", "objective": 0.9})
+
+
+class TestEvaluateSlos:
+    def test_aggregate_verdict(self, reg):
+        ring = _ring_with_latencies(reg, [0.005] * 90 + [0.5] * 10)
+        result = evaluate_slos(default_slos(), ring)
+        assert len(result["slos"]) == 2
+        assert result["exhausted"]  # latency budget blown above
+        assert isinstance(result["firing"], bool)
+        assert result["ok"] is False
+
+    def test_default_alert_pairs(self):
+        names = [a.name for a in DEFAULT_ALERTS]
+        assert names == ["fast_burn", "slow_burn"]
+        for slo in default_slos():
+            assert tuple(slo.alerts) == DEFAULT_ALERTS

@@ -1,0 +1,276 @@
+"""Tests for repro.obs.timeseries: delta ring, windows, sampler.
+
+The hypothesis property at the bottom is the accuracy contract: any
+windowed quantile reconstructed from bucket-count deltas must land
+within one log-bucket of the exact numpy percentile of the same
+observations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.timeseries import Sampler, TimeSeriesRing
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+    reg.histogram("repro_query_seconds", "Latency.")
+    reg.gauge("repro_resource_rss_bytes", "RSS.")
+    return reg
+
+
+class TestDeltaEncoding:
+    def test_counter_delta_per_slot(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        ring.sample()
+        c.labels(algorithm="stps").inc(5)
+        slot = ring.sample()
+        assert slot.counters[("repro_queries_total", ("stps",))] == 5.0
+        # No activity: the next slot stores nothing for the counter.
+        slot = ring.sample()
+        assert slot.counters == {}
+
+    def test_histogram_delta_and_window_merge(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        h = reg.histogram("repro_query_seconds", "Latency.")
+        ring.sample()
+        for v in (0.004, 0.004, 0.05):
+            h.observe(v)
+        ring.sample()
+        h.observe(0.05)
+        ring.sample()
+        counts, sum_, count = ring.window_hist("repro_query_seconds", 60.0)
+        assert count == 4
+        assert sum_ == pytest.approx(0.004 * 2 + 0.05 * 2)
+        assert sum(counts) == 4
+
+    def test_gauges_are_absolute(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        g = reg.gauge("repro_resource_rss_bytes", "RSS.")
+        g.set(100.0)
+        ring.sample()
+        g.set(60.0)  # gauges go down; a delta would be meaningless
+        ring.sample()
+        assert ring.latest_gauge("repro_resource_rss_bytes") == 60.0
+
+    def test_preexisting_totals_count_once(self, reg):
+        # Activity before the first sample lands in the first slot that
+        # sees it, then never again (cumulative -> delta).
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        c.labels(algorithm="stps").inc(7)
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        ring.sample()
+        ring.sample()
+        assert ring.delta("repro_queries_total", 60.0) == 7.0
+
+
+class TestWindows:
+    def test_rate_uses_covered_span(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        ring.sample()
+        c.labels(algorithm="stps").inc(10)
+        time.sleep(0.05)
+        ring.sample()
+        rate = ring.rate("repro_queries_total", window_s=60.0)
+        span = ring.window_span(60.0)
+        assert span > 0
+        assert rate == pytest.approx(10.0 / span)
+
+    def test_window_excludes_old_slots(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        ring.sample()
+        c.labels(algorithm="stps").inc(100)
+        time.sleep(0.05)
+        ring.sample()  # old activity
+        time.sleep(0.05)
+        c.labels(algorithm="stps").inc(1)
+        ring.sample()  # recent activity
+        # A window shorter than the gap sees only the newest slot.
+        assert ring.delta("repro_queries_total", 0.04) == 1.0
+        assert ring.delta("repro_queries_total", 60.0) == 101.0
+
+    def test_label_filter(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        ring.sample()
+        c.labels(algorithm="stps").inc(3)
+        c.labels(algorithm="stds").inc(9)
+        ring.sample()
+        assert ring.delta(
+            "repro_queries_total", 60.0, labels={"algorithm": "stps"}
+        ) == 3.0
+        assert ring.delta("repro_queries_total", 60.0) == 12.0
+
+    def test_empty_ring_is_quiet(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        assert ring.rate("repro_queries_total") == 0.0
+        assert ring.delta("repro_queries_total", 60.0) == 0.0
+        assert ring.window_quantile("repro_query_seconds", 0.99) == 0.0
+        assert ring.latest_gauge("repro_resource_rss_bytes") is None
+        assert len(ring) == 0
+
+    def test_capacity_bounds_history(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=4)
+        for _ in range(10):
+            ring.sample()
+        assert len(ring) == 4
+        assert ring.samples_taken == 10
+
+    def test_capacity_validation(self, reg):
+        with pytest.raises(ReproError):
+            TimeSeriesRing(registry=reg, capacity=1)
+
+
+class TestTimeline:
+    def test_per_slot_entries(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        c = reg.counter("repro_queries_total", "Queries.", ("algorithm",))
+        h = reg.histogram("repro_query_seconds", "Latency.")
+        g = reg.gauge("repro_resource_rss_bytes", "RSS.")
+        g.set(1.0)
+        ring.sample()
+        c.labels(algorithm="stps").inc(4)
+        h.observe(0.01)
+        g.set(2.0)
+        time.sleep(0.01)
+        ring.sample()
+        timeline = ring.timeline(
+            counter_names=("repro_queries_total",),
+            hist_names=("repro_query_seconds",),
+            gauge_names=("repro_resource_rss_bytes",),
+        )
+        assert len(timeline) == 2
+        last = timeline[-1]
+        assert last["rates"]["repro_queries_total"] > 0
+        assert last["hist"]["repro_query_seconds"]["count"] == 1
+        assert "p95" in last["hist"]["repro_query_seconds"]
+        assert last["gauges"]["repro_resource_rss_bytes"] == 2.0
+
+    def test_max_slots_truncates(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        for _ in range(6):
+            ring.sample()
+        assert len(ring.timeline(max_slots=3)) == 3
+
+
+class TestSampler:
+    def test_samples_on_interval(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=64)
+        with Sampler(ring, interval_s=0.02):
+            time.sleep(0.1)
+        assert len(ring) >= 3  # immediate + periodic + final
+
+    def test_pre_sample_hook_runs_each_tick(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=64)
+        calls = []
+        with Sampler(ring, interval_s=0.02, pre_sample=(lambda: calls.append(1),)):
+            time.sleep(0.08)
+        assert len(calls) == len(ring)
+
+    def test_failing_hook_disabled_not_fatal(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=64)
+
+        def boom():
+            raise RuntimeError("hook failure")
+
+        with Sampler(ring, interval_s=0.02, pre_sample=(boom,)) as sampler:
+            time.sleep(0.08)
+            assert sampler.running
+        assert len(ring) >= 3  # sampling survived the hook
+
+    def test_restart_after_stop(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=64)
+        sampler = Sampler(ring, interval_s=0.02)
+        sampler.start()
+        sampler.stop()
+        n = len(ring)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        assert len(ring) > n
+        assert not sampler.running
+
+    def test_interval_validation(self, reg):
+        with pytest.raises(ReproError):
+            Sampler(TimeSeriesRing(registry=reg), interval_s=0.0)
+
+    def test_no_leaked_threads(self, reg):
+        ring = TimeSeriesRing(registry=reg, capacity=64)
+        with Sampler(ring, interval_s=0.02):
+            assert any(
+                t.name == "repro-ts-sampler" for t in threading.enumerate()
+            )
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(
+                t.name == "repro-ts-sampler" for t in threading.enumerate()
+            ):
+                break
+            time.sleep(0.01)
+        else:  # pragma: no cover - diagnostic
+            pytest.fail("sampler thread leaked")
+
+
+def _bucket_index(buckets: tuple[float, ...], value: float) -> int:
+    for i, bound in enumerate(buckets):
+        if value <= bound:
+            return i
+    return len(buckets)
+
+
+class TestQuantileAccuracyProperty:
+    """Windowed quantiles vs exact percentiles of the same stream."""
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_window_quantile_within_one_bucket(self, values, n_batches):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_query_seconds", "Latency.")
+        ring = TimeSeriesRing(registry=reg, capacity=16)
+        ring.sample()
+        # Spread the stream over several slots: the windowed quantile
+        # must merge the per-slot deltas back into one distribution.
+        for batch in np.array_split(np.asarray(values), n_batches):
+            for v in batch:
+                h.observe(float(v))
+            ring.sample()
+        buckets = ring.buckets("repro_query_seconds")
+        assert buckets == tuple(DEFAULT_LATENCY_BUCKETS)
+        for q in (0.5, 0.95, 0.99):
+            got = ring.window_quantile("repro_query_seconds", q, 1e9)
+            # "inverted_cdf" is the ceil(q*n) order statistic — the same
+            # rank rule the bucket walk uses, and always an actual
+            # observation (linear interpolation would invent values no
+            # bucketed histogram could report).
+            exact = float(
+                np.percentile(values, q * 100, method="inverted_cdf")
+            )
+            # Same contract as Histogram.quantile: the reconstructed
+            # value may be off by at most one log-bucket.
+            got_idx = _bucket_index(buckets, got)
+            exact_idx = _bucket_index(buckets, exact)
+            assert abs(got_idx - exact_idx) <= 1, (
+                f"q={q}: got {got} (bucket {got_idx}), "
+                f"exact {exact} (bucket {exact_idx})"
+            )

@@ -10,11 +10,20 @@ Supported for the range and nearest-neighbor variants, whose combination
 order delivers exact final scores immediately.  The influence variant is
 not streamable this way (an object's score can improve when later
 combinations are examined), so it raises :class:`QueryError`.
+
+The second half of the module is the dual problem — a *standing* query
+over changing data instead of a changing cursor over standing data:
+:class:`TopKMonitor` keeps one query's top-k current while a live
+dataset (:mod:`repro.live`) absorbs a mutation stream, reporting entry /
+exit / rescore deltas after each refresh (the continuous-monitoring
+workload of *Efficient Top-K Temporal Spatial Keyword Search*,
+PAPERS.md).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
 
 from repro.core.combinations import PULL_PRIORITIZED, CombinationIterator
 from repro.core.query import PreferenceQuery, Variant
@@ -24,6 +33,8 @@ from repro.errors import QueryError
 from repro.geometry.polygon import ConvexPolygon
 from repro.index.feature_tree import FeatureTree
 from repro.index.object_rtree import ObjectRTree
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 
 
 def stps_stream(
@@ -133,3 +144,133 @@ def _zero_tail(object_tree, seen):
     for oid, x, y in remaining:
         seen.add(oid)
         yield ResultItem(oid, 0.0, x, y)
+
+
+# ----------------------------------------------------------------------
+# continuous monitoring over a live dataset
+# ----------------------------------------------------------------------
+def monitor_refreshes_metric() -> "_metrics.MetricFamily":
+    """Monitor refreshes that actually re-ran the standing query.
+
+    Lazily resolved against the current default registry (same pattern
+    as :func:`repro.shard.sharded_processor.shard_queries_metric`).
+    """
+    return _metrics.registry().counter(
+        "repro_live_monitor_refreshes_total",
+        "Standing-query re-executions by a TopKMonitor.",
+        (),
+    )
+
+
+def monitor_changes_metric() -> "_metrics.MetricFamily":
+    """Top-k membership changes observed, by kind."""
+    return _metrics.registry().counter(
+        "repro_live_monitor_changes_total",
+        "Top-k deltas reported by TopKMonitor refreshes.",
+        ("kind",),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TopKDelta:
+    """What one :meth:`TopKMonitor.refresh` changed in the top-k.
+
+    ``entered``/``exited`` are items that joined/left the top-k;
+    ``rescored`` pairs ``(before, after)`` for objects that stayed but
+    whose item changed (score or reported position).  ``version`` is the
+    live dataset's mutation counter at refresh time.
+    """
+
+    version: int
+    entered: tuple[ResultItem, ...] = ()
+    exited: tuple[ResultItem, ...] = ()
+    rescored: tuple[tuple[ResultItem, ResultItem], ...] = field(default=())
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.exited or self.rescored)
+
+
+class TopKMonitor:
+    """A standing top-k query kept current over a mutating live dataset.
+
+    ``live`` is any object with the live-dataset surface —
+    ``query(query, **kwargs)``, ``apply(mutation)``, and a monotone
+    ``version`` counter (:class:`~repro.live.LiveDataset` /
+    :class:`~repro.live.LiveShardedDataset`)::
+
+        monitor = TopKMonitor(live, query)          # runs the baseline
+        live.move_feature(0, fid, x, y)
+        delta = monitor.refresh()                    # entered/exited/rescored
+        monitor.results                              # current top-k items
+
+    Construction runs the baseline query (its items are *not* reported
+    as entries — deltas describe changes after the monitor started).
+    :meth:`refresh` skips the query entirely when ``version`` has not
+    moved, so polling an idle dataset is free; :meth:`drain` folds a
+    batch of :class:`~repro.live.Mutation` events and refreshes once —
+    the continuous-query loop over a feature stream.
+    """
+
+    def __init__(self, live, query: PreferenceQuery, **query_kwargs) -> None:
+        self.live = live
+        self.query = query
+        self.query_kwargs = query_kwargs
+        self._version: int = -1
+        self._current: tuple[ResultItem, ...] = ()
+        self._baseline()
+
+    @property
+    def results(self) -> tuple[ResultItem, ...]:
+        """The top-k as of the last refresh (rank order)."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        """Dataset mutation version the current results reflect."""
+        return self._version
+
+    def _baseline(self) -> None:
+        self._version = self.live.version
+        self._current = tuple(
+            self.live.query(self.query, **self.query_kwargs).items
+        )
+        monitor_refreshes_metric().inc()
+
+    def refresh(self, force: bool = False) -> TopKDelta:
+        """Re-run the standing query if the dataset moved; report deltas."""
+        version = self.live.version
+        if version == self._version and not force:
+            return TopKDelta(version)
+        with _tracing.span(
+            "live.monitor.refresh", cat="live", version=version
+        ):
+            items = tuple(
+                self.live.query(self.query, **self.query_kwargs).items
+            )
+        monitor_refreshes_metric().inc()
+        before = {item.oid: item for item in self._current}
+        after = {item.oid: item for item in items}
+        entered = tuple(i for i in items if i.oid not in before)
+        exited = tuple(i for i in self._current if i.oid not in after)
+        rescored = tuple(
+            (before[oid], after[oid])
+            for oid in sorted(before.keys() & after.keys())
+            if before[oid] != after[oid]
+        )
+        self._version = version
+        self._current = items
+        changes = monitor_changes_metric()
+        if entered:
+            changes.labels(kind="entered").inc(len(entered))
+        if exited:
+            changes.labels(kind="exited").inc(len(exited))
+        if rescored:
+            changes.labels(kind="rescored").inc(len(rescored))
+        return TopKDelta(version, entered, exited, rescored)
+
+    def drain(self, mutations: Iterable) -> TopKDelta:
+        """Apply a stream of mutation events, then refresh once."""
+        for mutation in mutations:
+            self.live.apply(mutation)
+        return self.refresh()

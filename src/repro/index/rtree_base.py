@@ -384,6 +384,13 @@ class RTreeBase(ABC):
                     e for e in parent.entries if e.child != node.page_id
                 ]
                 orphans.extend(self._collect_leaf_entries(node))
+                # The subtree is unlinked without a final write (the
+                # dissolved node may already differ in memory from its
+                # page, e.g. the leaf that lost the deleted entry), so
+                # its decoded nodes must leave the cache: a later
+                # allocate() may hand the page ids out again, and the
+                # cache would serve the dissolved image for them.
+                self._invalidate_subtree(node)
             else:
                 self.write_node(node)
                 self._replace_child_entry(parent, node)
@@ -400,10 +407,14 @@ class RTreeBase(ABC):
             empty = self._new_node(LEAF_LEVEL, [])
             self.root_id = empty.page_id
             self.height = 1
-        self._write_meta()
 
         if orphans:
-            self.count -= len(orphans)  # insert() re-counts them
+            # insert() re-counts the orphans and rewrites the meta page
+            # after each one, so the final meta carries the settled
+            # root/height/count — no separate write here (a second
+            # _write_meta before the reinserts would persist a count that
+            # still includes the orphans).
+            self.count -= len(orphans)
             for entry in orphans:
                 self.insert(entry)
         else:
@@ -440,6 +451,13 @@ class RTreeBase(ABC):
                 self._collect_leaf_entries(self.read_node(entry.child))
             )
         return collected
+
+    def _invalidate_subtree(self, node: Node) -> None:
+        """Evict a dissolved subtree's decoded nodes from the cache."""
+        if not node.is_leaf:
+            for entry in node.entries:
+                self._invalidate_subtree(self.read_node(entry.child))
+        self._node_cache.invalidate(node.page_id)
 
     # ------------------------------------------------------------------
     # introspection / validation

@@ -1,0 +1,35 @@
+"""Live index updates: mutate a built engine, keep answers exact.
+
+:class:`LiveDataset` wraps a single-node
+:class:`~repro.core.processor.QueryProcessor`, :class:`LiveShardedDataset`
+a :class:`~repro.shard.ShardedQueryProcessor`; both expose the same
+mutation API (``insert/delete/move/rescore`` for features,
+``insert/delete`` for objects) with write-through aggregate maintenance
+and cache invalidation, so queries after any mutation sequence return
+exactly what a rebuilt-from-scratch index would (the
+incremental-vs-rebuild differential oracle in ``tests/live`` enforces
+this at 1e-9).  :class:`~repro.core.streaming.TopKMonitor` turns either
+into a continuous top-k over a mutation stream.
+"""
+
+from repro.live.dataset import (
+    LIVE_METRIC_FAMILIES,
+    MUTATION_OPS,
+    LiveBase,
+    LiveDataset,
+    Mutation,
+    feature_entry,
+    object_entry,
+)
+from repro.live.sharded import LiveShardedDataset
+
+__all__ = [
+    "LIVE_METRIC_FAMILIES",
+    "MUTATION_OPS",
+    "LiveBase",
+    "LiveDataset",
+    "LiveShardedDataset",
+    "Mutation",
+    "feature_entry",
+    "object_entry",
+]

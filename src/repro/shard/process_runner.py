@@ -122,6 +122,34 @@ def _worker_init(manifests: list[ShardManifest]) -> None:
     _WORKER["epochs"] = {}
 
 
+def _refresh_manifest(
+    shard_id: int, manifest: "ShardManifest | None"
+) -> None:
+    """Adopt a replacement manifest for a shard (live refreeze).
+
+    Live mutations (:mod:`repro.live`) refreeze a mutated shard into
+    *new* shared-memory segments and ship the new manifest with every
+    subsequent task.  A worker holding the previous manifest unmaps its
+    cached attachment so the old (already-unlinked) segments can be
+    reclaimed, then reopens lazily from the new one.  Manifests are
+    frozen dataclasses, so equality compares segment names — a no-op for
+    every task of an unchanged shard.
+    """
+    if manifest is None:
+        return
+    if _WORKER["manifests"].get(shard_id) == manifest:
+        return
+    stale = _WORKER["processors"].pop(shard_id, None)
+    if stale is not None:
+        for tree in stale.trees():
+            try:
+                tree.pagefile.close()
+            except Exception:  # pragma: no cover - unmap best-effort
+                pass
+    _WORKER["manifests"][shard_id] = manifest
+    _WORKER["epochs"].pop(shard_id, None)
+
+
 def _worker_processor(shard_id: int) -> QueryProcessor:
     processor = _WORKER["processors"].get(shard_id)
     if processor is None:
@@ -157,6 +185,7 @@ def _run_shard_query(
     trace_enabled: bool = False,
     trace_verbose: bool = False,
     exemplars: bool = False,
+    manifest: "ShardManifest | None" = None,
 ) -> dict:
     """Execute one shard query in a worker process; returns plain data.
 
@@ -193,6 +222,7 @@ def _run_shard_query(
         # Everything — attach included — stays inside the try: a raise
         # escaping this function would have to pickle through the pool's
         # result queue instead of the controlled payload below.
+        _refresh_manifest(shard_id, manifest)
         processor = _worker_processor(shard_id)
         if _WORKER["epochs"].get(shard_id, -1) < epoch:
             processor.clear_buffers()
@@ -316,8 +346,15 @@ class ProcessShardRunner:
         floor: float,
         trace_id: str,
         explain: bool,
+        manifest: ShardManifest | None = None,
     ) -> Future:
-        """Dispatch one shard query; resolves to a worker payload dict."""
+        """Dispatch one shard query; resolves to a worker payload dict.
+
+        ``manifest`` (optional) travels with the task so a worker whose
+        cached attachment predates a live refreeze re-attaches to the
+        replacement segments before executing (see
+        :func:`_refresh_manifest`).
+        """
         if self._closed:
             raise ShardError(-1, "process runner is closed")
         return self._pool.submit(
@@ -337,6 +374,7 @@ class ProcessShardRunner:
             _tracing.enabled,
             _tracing.verbose,
             _metrics.exemplars_enabled,
+            manifest=manifest,
         )
 
     def close(self, wait: bool = True) -> None:

@@ -335,6 +335,38 @@ class ShardedQueryProcessor:
     def specs(self) -> list[ShardSpec]:
         return [s.spec for s in self.shards]
 
+    @property
+    def manifests(self) -> "list[ShardManifest] | None":
+        """Process-mode shard manifests (``None`` in thread mode)."""
+        return None if self._manifests is None else list(self._manifests)
+
+    def replace_manifest(self, idx: int, manifest: ShardManifest) -> None:
+        """Swap shard ``idx``'s manifest after a live refreeze.
+
+        The live-update layer (:mod:`repro.live`) freezes a mutated
+        shard into fresh shared-memory segments and installs the new
+        manifest here; every subsequent process-mode task for the shard
+        carries it, so workers re-attach before executing.  The caller
+        owns the old segments' teardown.
+        """
+        if self._manifests is None:
+            raise ShardError(
+                -1, "no manifests to replace (thread-mode processor)"
+            )
+        if not 0 <= idx < len(self._manifests):
+            raise ShardError(-1, f"shard index {idx} out of range")
+        self._manifests[idx] = manifest
+
+    def bump_epoch(self) -> None:
+        """Advance the cache epoch without touching parent-side caches.
+
+        Used after live mutations: parent-side caches were invalidated
+        write-through, but worker processes may still hold decoded nodes
+        from before the mutation — the bumped epoch makes them clear on
+        their next task for any shard.
+        """
+        self._epoch += 1
+
     def describe(self) -> dict:
         """JSON-friendly partition summary."""
         return {
@@ -728,6 +760,7 @@ class ShardedQueryProcessor:
                 future = runner.submit(
                     shard_id, self._epoch, query, algorithm, pulling,
                     batch_size, parallelism, floor, trace_id, col.active,
+                    manifest=self._manifests[idx],
                 )
                 in_flight[future] = (bound, shard_id, floor)
                 return True

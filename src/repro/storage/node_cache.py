@@ -139,6 +139,20 @@ class NodeCache:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def peek(self, page_id: int) -> "Node | None":
+        """Cached node without touching counters or LRU order.
+
+        For coherence checks and tests only — the query path uses
+        :meth:`get` so hit accounting stays truthful.
+        """
+        with self._lock:
+            return self._cache.get(page_id)
+
+    def page_ids(self) -> list[int]:
+        """Page ids currently cached (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._cache)
+
     @property
     def hit_rate(self) -> float:
         """Hits / (hits + misses); 0.0 before any access."""

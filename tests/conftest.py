@@ -1,8 +1,20 @@
-"""Shared fixtures: small deterministic datasets and built processors."""
+"""Shared fixtures: small deterministic datasets and built processors.
+
+Also home of the hypothesis reproducibility plumbing: the ``repro-live``
+settings profile is *derandomized* by default (examples derive from the
+test function, not a per-run RNG), so stateful suites behave identically
+in CI; hypothesis' own ``--hypothesis-seed N`` option switches the
+profile to seeded random exploration for local bug hunting (the plugin
+applies the seed, this conftest just stops derandomizing, which would
+override it).  Suites opt in by loading the profile in their own
+conftest; the active seed is printed alongside any hypothesis failure.
+"""
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 
 import pytest
 
@@ -12,6 +24,74 @@ from repro.model.objects import DataObject, FeatureObject
 from repro.text.vocabulary import Vocabulary
 
 VOCAB_SIZE = 32
+
+#: Environment fallback for the seed (CLI wins); lets wrapper scripts
+#: seed hypothesis suites without threading pytest options through.
+HYPOTHESIS_SEED_ENV = "REPRO_HYPOTHESIS_SEED"
+
+
+def hypothesis_seed() -> str | None:
+    """The requested hypothesis seed, or None (derandomized profile).
+
+    Read from ``--hypothesis-seed`` on the command line (the option is
+    hypothesis' own — its plugin applies the seed; this repo only stops
+    derandomizing so the seed can take effect) or from
+    ``REPRO_HYPOTHESIS_SEED``.  Parsed from ``sys.argv`` because the
+    profile must be registered at conftest *import* time — directory
+    conftests load before ``pytest_configure`` sees parsed options.
+    """
+    for i, arg in enumerate(sys.argv):
+        if arg == "--hypothesis-seed" and i + 1 < len(sys.argv):
+            return sys.argv[i + 1]
+        if arg.startswith("--hypothesis-seed="):
+            return arg.split("=", 1)[1]
+    return os.environ.get(HYPOTHESIS_SEED_ENV) or None
+
+
+def _register_live_profile() -> None:
+    try:
+        from hypothesis import HealthCheck, settings
+    except ImportError:  # pragma: no cover - hypothesis is a test dep
+        return
+    settings.register_profile(
+        "repro-live",
+        derandomize=hypothesis_seed() is None,
+        deadline=None,
+        max_examples=25,
+        print_blob=True,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+            HealthCheck.filter_too_much,
+        ],
+    )
+
+
+_register_live_profile()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item: pytest.Item, call: pytest.CallInfo):
+    """Attach the reproduction recipe to failing hypothesis tests."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    function = getattr(item, "function", None)
+    if function is None or not hasattr(function, "hypothesis"):
+        return
+    seed = hypothesis_seed()
+    if seed is not None:
+        note = (
+            f"this run used --hypothesis-seed={seed}; pass the same value "
+            "to reproduce the exploration order"
+        )
+    else:
+        note = (
+            "derandomized profile (no per-run seed): re-running reproduces "
+            "this failure as-is; use --hypothesis-seed=N to explore further"
+        )
+    report.sections.append(("hypothesis seed", note))
 
 
 def make_feature_objects(

@@ -1,0 +1,163 @@
+"""Leaf-up exactness of the paper's per-node aggregates under mutation.
+
+``validate()`` checks each internal entry against its *immediate* child;
+this suite recomputes every internal entry from the **leaves** of its
+subtree — MBR as the union of leaf rects, ``max_score`` as the leaf
+maximum, ``summary`` as the union of leaf summaries — and demands exact
+(``==``, not approximate) equality after long random delete and
+insert/delete sequences.  A stale-tight aggregate at *any* level breaks
+Lemma 1's pruning bound silently (queries stay "correct" until a prune
+uses the stale bound), which is why this check exists as its own test
+and not only inside the live-update suites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.index.nodes import FeatureLeafEntry, ObjectLeafEntry
+from repro.index.object_rtree import ObjectRTree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.storage.pagefile import MemoryPageFile
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_data_objects, make_feature_objects
+
+
+def _leaf_aggregates(tree, node):
+    """(rect, max_score, summary) over a subtree's *leaf* entries."""
+    if node.is_leaf:
+        rect = node.entries[0].rect
+        max_score = node.entries[0].score
+        summary = 0
+        for e in node.entries:
+            rect = rect.union(e.rect)
+            max_score = max(max_score, e.score)
+            summary |= tree.leaf_summary(e.mask)
+        return rect, max_score, summary
+    child = tree.read_node(node.entries[0].child)
+    rect, max_score, summary = _leaf_aggregates(tree, child)
+    for entry in node.entries[1:]:
+        child = tree.read_node(entry.child)
+        r, s, m = _leaf_aggregates(tree, child)
+        rect = rect.union(r)
+        max_score = max(max_score, s)
+        summary |= m
+    return rect, max_score, summary
+
+
+def assert_feature_aggregates_exact(tree) -> None:
+    """Every internal entry == leaf-up recomputation, bit for bit."""
+    stack = [tree.root_node()]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            continue
+        for entry in node.entries:
+            child = tree.read_node(entry.child)
+            rect, max_score, summary = _leaf_aggregates(tree, child)
+            assert entry.rect == rect, (
+                f"page {node.page_id}: stale MBR for child {entry.child}"
+            )
+            assert entry.max_score == max_score, (
+                f"page {node.page_id}: max_score {entry.max_score} != "
+                f"leaf maximum {max_score} for child {entry.child}"
+            )
+            assert entry.summary == summary, (
+                f"page {node.page_id}: summary mask diverges for child "
+                f"{entry.child}"
+            )
+            stack.append(child)
+
+
+def assert_object_mbrs_exact(tree) -> None:
+    stack = [tree.root_node()]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            continue
+        for entry in node.entries:
+            child = tree.read_node(entry.child)
+            rect = child.entries[0].rect
+            for e in child.entries[1:]:
+                rect = rect.union(e.rect)
+            # One level is enough here: the recursion visits every node.
+            assert entry.rect == rect, (
+                f"page {node.page_id}: stale MBR for child {entry.child}"
+            )
+            stack.append(child)
+
+
+def _feature_entry(f) -> FeatureLeafEntry:
+    return FeatureLeafEntry(f.fid, f.x, f.y, f.score, f.keyword_mask())
+
+
+class TestSRTAggregates:
+    def test_exact_after_random_deletes(self):
+        vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+        features = make_feature_objects(220, seed=90)
+        dataset = FeatureDataset(features, vocab, "agg")
+        tree = SRTIndex.build(
+            dataset, pagefile=MemoryPageFile(page_size=256)
+        )
+        assert tree.height >= 3  # multi-level, aggregates at every level
+        order = list(features)
+        random.Random(3).shuffle(order)
+        for i, f in enumerate(order[:180]):
+            assert tree.delete(_feature_entry(f))
+            if i % 20 == 0:
+                assert_feature_aggregates_exact(tree)
+        assert_feature_aggregates_exact(tree)
+        tree.validate()
+
+    def test_exact_under_interleaved_churn(self):
+        """Insert/delete/rescore churn: the max can both rise and fall."""
+        vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+        rng = random.Random(4)
+        tree = SRTIndex.build(
+            FeatureDataset(make_feature_objects(80, seed=91), vocab, "churn"),
+            pagefile=MemoryPageFile(page_size=256),
+        )
+        alive = {f.fid: f for f in make_feature_objects(80, seed=91)}
+        next_fid = 10_000
+        for step in range(160):
+            roll = rng.random()
+            if roll < 0.4 and len(alive) > 10:
+                f = alive.pop(rng.choice(sorted(alive)))
+                assert tree.delete(_feature_entry(f))
+            elif roll < 0.7:
+                # Rescore = delete + reinsert with a new score; dropping
+                # the subtree maximum is the stale-aggregate hot path.
+                fid = rng.choice(sorted(alive))
+                f = alive[fid]
+                assert tree.delete(_feature_entry(f))
+                f = dataclasses.replace(f, score=round(rng.random(), 6))
+                alive[fid] = f
+                tree.insert(_feature_entry(f))
+            else:
+                fs = make_feature_objects(1, seed=1000 + step)[0]
+                f = dataclasses.replace(fs, fid=next_fid)
+                next_fid += 1
+                alive[f.fid] = f
+                tree.insert(_feature_entry(f))
+            if step % 20 == 0:
+                assert_feature_aggregates_exact(tree)
+        assert_feature_aggregates_exact(tree)
+        assert tree.count == len(alive)
+
+
+class TestObjectMBRs:
+    def test_exact_after_random_deletes(self):
+        objects = make_data_objects(220, seed=92)
+        tree = ObjectRTree(MemoryPageFile(page_size=256))
+        for o in objects:
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        order = list(objects)
+        random.Random(5).shuffle(order)
+        for i, o in enumerate(order[:180]):
+            assert tree.delete(ObjectLeafEntry(o.oid, o.x, o.y))
+            if i % 20 == 0:
+                assert_object_mbrs_exact(tree)
+        assert_object_mbrs_exact(tree)
+        tree.validate()

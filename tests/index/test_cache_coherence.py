@@ -1,0 +1,139 @@
+"""Node-cache coherence under mutation, on every storage flavour.
+
+Two caches sit between a query and a page: the decoded-node cache and
+the page buffer pool.  A mutation must leave neither serving a
+pre-mutation image.  These tests warm both caches with traversals, then
+mutate, then check two ways:
+
+* **structurally** — every page still held by the decoded-node cache
+  must equal a fresh decode of its page read straight from the page
+  file (below both caches);
+* **behaviourally** — a warm-cache traversal returns exactly what a
+  cold reopen of the same storage returns.
+
+Parametrized over buffered ``DiskPageFile`` and its ``mmap_reads=True``
+mode, where a stale shared mapping would be an extra way to serve old
+bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index.nodes import FeatureLeafEntry, ObjectLeafEntry
+from repro.index.object_rtree import ObjectRTree
+from repro.index.reopen import open_tree
+from repro.index.srt import SRTIndex
+from repro.model.dataset import FeatureDataset
+from repro.storage.pagefile import DiskPageFile, MemoryPageFile
+from repro.text.vocabulary import Vocabulary
+from tests.conftest import VOCAB_SIZE, make_data_objects, make_feature_objects
+
+STORAGES = ("memory", "disk", "disk-mmap")
+
+
+def _pagefile(kind: str, tmp_path, name: str, page_size: int = 256):
+    if kind == "memory":
+        return MemoryPageFile(page_size=page_size)
+    return DiskPageFile(
+        str(tmp_path / name),
+        page_size=page_size,
+        mmap_reads=(kind == "disk-mmap"),
+    )
+
+
+def assert_node_cache_coherent(tree) -> None:
+    """Cached decoded nodes == fresh decodes of their persisted pages."""
+    for page_id in tree.node_cache.page_ids():
+        cached = tree.node_cache.peek(page_id)
+        if cached is None:
+            continue
+        fresh = tree.codec.decode(page_id, tree.pagefile.read(page_id).payload)
+        assert cached.level == fresh.level, f"page {page_id}: stale level"
+        assert cached.entries == fresh.entries, (
+            f"page {page_id}: decoded-node cache serves a pre-mutation image"
+        )
+
+
+def _warm(tree) -> None:
+    list(tree.range_search((0.5, 0.5), 2.0))
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+class TestObjectTreeCoherence:
+    def test_mutations_never_serve_stale_nodes(self, storage, tmp_path):
+        objects = make_data_objects(200, seed=95)
+        pagefile = _pagefile(storage, tmp_path, "objects.tree")
+        tree = ObjectRTree(pagefile, buffer_pages=64)
+        for o in objects:
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        rng = random.Random(6)
+        alive = {o.oid: o for o in objects}
+        next_id = 10_000
+        for step in range(120):
+            _warm(tree)  # traversal caches the pages the mutation rewrites
+            if alive and rng.random() < 0.5:
+                o = alive.pop(rng.choice(sorted(alive)))
+                assert tree.delete(ObjectLeafEntry(o.oid, o.x, o.y))
+            else:
+                x, y = rng.random(), rng.random()
+                tree.insert(ObjectLeafEntry(next_id, x, y))
+                alive[next_id] = type(objects[0])(next_id, x, y)
+                next_id += 1
+            if step % 15 == 0:
+                assert_node_cache_coherent(tree)
+        assert_node_cache_coherent(tree)
+        got = sorted(e.oid for e in tree.range_search((0.5, 0.5), 2.0))
+        assert got == sorted(alive)
+
+    def test_warm_traversal_equals_cold_reopen(self, storage, tmp_path):
+        if storage == "memory":
+            pytest.skip("reopen-from-path needs a disk file")
+        path = str(tmp_path / "reopen.tree")
+        objects = make_data_objects(150, seed=96)
+        tree = ObjectRTree(
+            DiskPageFile(path, page_size=256,
+                         mmap_reads=(storage == "disk-mmap")),
+            buffer_pages=64,
+        )
+        for o in objects:
+            tree.insert(ObjectLeafEntry(o.oid, o.x, o.y))
+        _warm(tree)
+        for o in objects[::3]:
+            assert tree.delete(ObjectLeafEntry(o.oid, o.x, o.y))
+        warm = sorted(e.oid for e in tree.range_search((0.5, 0.5), 2.0))
+        tree.pagefile.flush()
+
+        cold = open_tree(
+            DiskPageFile(path, page_size=256,
+                         mmap_reads=(storage == "disk-mmap"))
+        )
+        assert warm == sorted(
+            e.oid for e in cold.range_search((0.5, 0.5), 2.0)
+        )
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+class TestFeatureTreeCoherence:
+    def test_mutations_never_serve_stale_nodes(self, storage, tmp_path):
+        vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))
+        features = make_feature_objects(150, seed=97)
+        tree = SRTIndex.build(
+            FeatureDataset(features, vocab, "coh"),
+            pagefile=_pagefile(storage, tmp_path, "features.tree"),
+            buffer_pages=64,
+        )
+        rng = random.Random(7)
+        survivors = list(features)
+        for step in range(60):
+            list(tree.iter_features())  # full traversal warms the caches
+            f = survivors.pop(rng.randrange(len(survivors)))
+            assert tree.delete(
+                FeatureLeafEntry(f.fid, f.x, f.y, f.score, f.keyword_mask())
+            )
+            if step % 10 == 0:
+                assert_node_cache_coherent(tree)
+        assert_node_cache_coherent(tree)
+        tree.validate()

@@ -88,6 +88,51 @@ class TestObjectTreeDelete:
         assert got == sorted(alive)
 
 
+class TestReopenAfterDelete:
+    def test_meta_count_stays_exact_through_orphan_reinsertion(
+        self, tmp_path
+    ):
+        """Regression: the orphan path must not persist a stale count.
+
+        ``delete`` used to write the metadata page before reinserting
+        the orphans of dissolved nodes, persisting a count that still
+        included them — correct in memory, wrong on reopen.  Heavy
+        deletion over tiny pages exercises the orphan path constantly;
+        after every delete the *persisted* meta must agree with the
+        in-memory tree.
+        """
+        from repro.index.reopen import open_tree
+        from repro.index.rtree_base import RTreeBase
+        from repro.storage.pagefile import DiskPageFile
+
+        path = str(tmp_path / "orphans.tree")
+        objects = make_data_objects(250, seed=88)
+        tree = ObjectRTree(DiskPageFile(path, page_size=256))
+        for o in objects:
+            tree.insert(entry_of(o))
+        start_height = tree.height
+
+        order = list(objects)
+        random.Random(2).shuffle(order)
+        alive = {o.oid for o in objects}
+        for o in order[:220]:
+            assert tree.delete(entry_of(o))
+            alive.remove(o.oid)
+            meta = RTreeBase.read_meta(tree.pagefile)
+            assert meta["count"] == tree.count == len(alive)
+            assert meta["root"] == tree.root_id
+            assert meta["height"] == tree.height
+        assert tree.height < start_height  # condense actually ran
+        tree.pagefile.flush()
+        tree.pagefile.close()
+
+        reopened = open_tree(DiskPageFile(path, page_size=256))
+        assert reopened.count == len(alive)
+        reopened.validate()
+        got = {e.oid for e in reopened.range_search((0.5, 0.5), 2.0)}
+        assert got == alive
+
+
 class TestFeatureTreeDelete:
     def test_aggregates_stay_consistent(self):
         vocab = Vocabulary(f"kw{i}" for i in range(VOCAB_SIZE))

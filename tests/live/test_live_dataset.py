@@ -1,0 +1,377 @@
+"""Unit tests for the live-update layer (:mod:`repro.live`) and the
+standing-query monitor (:class:`repro.core.streaming.TopKMonitor`).
+
+The oracle and stateful suites prove end-to-end correctness; this file
+pins the surface: validation errors, declarative mutation dispatch,
+mirror/snapshot semantics, metrics, shard routing restrictions, and the
+monitor's delta reporting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import PreferenceQuery, Variant
+from repro.core.streaming import (
+    TopKDelta,
+    TopKMonitor,
+    monitor_changes_metric,
+    monitor_refreshes_metric,
+)
+from repro.errors import DatasetError, ShardError
+from repro.live import (
+    LIVE_METRIC_FAMILIES,
+    MUTATION_OPS,
+    LiveDataset,
+    LiveShardedDataset,
+    Mutation,
+    feature_entry,
+    object_entry,
+)
+from repro.live.dataset import live_mutations_metric
+from repro.live.sharded import live_relocations_metric
+from repro.model.objects import DataObject, FeatureObject
+from repro.obs.metrics import registry
+
+from tests.live.conftest import live_world
+
+MONITOR_METRIC_FAMILIES = (
+    "repro_live_monitor_refreshes_total",
+    "repro_live_monitor_changes_total",
+)
+
+QUERY = PreferenceQuery(3, 0.35, 0.5, (0xFFFF, 0xFFFF), Variant.RANGE)
+
+
+def small_live(**kwargs) -> LiveDataset:
+    objects, feature_sets = live_world(n_objects=30, n_features=24, seed=5)
+    kwargs.setdefault("page_size", 512)
+    kwargs.setdefault("buffer_pages", 32)
+    return LiveDataset.build(objects, feature_sets, **kwargs)
+
+
+@pytest.fixture()
+def live() -> LiveDataset:
+    return small_live()
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_ctor_rejects_feature_set_count_mismatch(self, live):
+        objects = live.objects_snapshot()
+        sets = live.feature_snapshots()
+        with pytest.raises(DatasetError, match="feature trees"):
+            LiveDataset(live.processor, objects, sets[:1])
+
+    def test_set_id_out_of_range(self, live):
+        feature = FeatureObject(777, 0.5, 0.5, 0.5, frozenset({1}))
+        with pytest.raises(DatasetError, match="out of range"):
+            live.insert_feature(9, feature)
+        with pytest.raises(DatasetError, match="out of range"):
+            live.feature_ids(-1)
+        with pytest.raises(DatasetError, match="out of range"):
+            live.n_features(2)
+
+    def test_duplicate_feature_id(self, live):
+        fid = live.feature_ids(0)[0]
+        clone = FeatureObject(fid, 0.5, 0.5, 0.5, frozenset({1}))
+        with pytest.raises(DatasetError, match="already present"):
+            live.insert_feature(0, clone)
+
+    def test_keywords_must_fit_vocabulary(self, live):
+        feature = FeatureObject(778, 0.5, 0.5, 0.5, frozenset({999}))
+        with pytest.raises(DatasetError, match="outside the"):
+            live.insert_feature(0, feature)
+
+    def test_unknown_feature_id(self, live):
+        with pytest.raises(DatasetError, match="unknown feature id"):
+            live.delete_feature(0, 424242)
+        with pytest.raises(DatasetError, match="unknown feature id"):
+            live.move_feature(0, 424242, 0.1, 0.1)
+        with pytest.raises(DatasetError, match="unknown feature id"):
+            live.rescore_feature(0, 424242, 0.9)
+        with pytest.raises(DatasetError, match="unknown feature id"):
+            live.get_feature(1, 424242)
+
+    def test_unknown_and_duplicate_object_id(self, live):
+        with pytest.raises(DatasetError, match="unknown data object"):
+            live.delete_object(424242)
+        with pytest.raises(DatasetError, match="unknown data object"):
+            live.get_object(424242)
+        oid = live.object_ids()[0]
+        with pytest.raises(DatasetError, match="already present"):
+            live.insert_object(DataObject(oid, 0.5, 0.5))
+
+
+# ----------------------------------------------------------------------
+# mutations, mirror, snapshots
+# ----------------------------------------------------------------------
+class TestMutations:
+    def test_insert_feature_is_queryable_and_mirrored(self, live):
+        before = live.n_features(0)
+        feature = FeatureObject(900, 0.42, 0.42, 0.9, frozenset({1, 2}))
+        live.insert_feature(0, feature)
+        assert live.n_features(0) == before + 1
+        assert live.get_feature(0, 900) == feature
+        assert 900 in live.feature_ids(0)
+        snapshot = live.feature_snapshots()[0]
+        assert feature in list(snapshot)
+        live.check_consistency()
+
+    def test_delete_feature_returns_removed(self, live):
+        fid = live.feature_ids(1)[0]
+        removed = live.delete_feature(1, fid)
+        assert removed.fid == fid
+        assert fid not in live.feature_ids(1)
+        live.check_consistency()
+
+    def test_move_and_rescore_return_updated(self, live):
+        fid = live.feature_ids(0)[0]
+        moved = live.move_feature(0, fid, 0.111, 0.222)
+        assert (moved.x, moved.y) == (0.111, 0.222)
+        rescored = live.rescore_feature(0, fid, 0.987)
+        assert rescored.score == 0.987
+        assert live.get_feature(0, fid) == rescored
+        live.check_consistency()
+
+    def test_object_insert_delete_roundtrip(self, live):
+        n = live.n_objects
+        live.insert_object(DataObject(901, 0.3, 0.3))
+        assert live.n_objects == n + 1
+        assert live.get_object(901) == DataObject(901, 0.3, 0.3)
+        removed = live.delete_object(901)
+        assert removed.oid == 901
+        assert live.n_objects == n
+        live.check_consistency()
+
+    def test_version_bumps_once_per_mutation(self, live):
+        v0 = live.version
+        live.insert_object(DataObject(902, 0.4, 0.4))
+        live.rescore_feature(0, live.feature_ids(0)[0], 0.5)
+        assert live.version == v0 + 2
+
+    def test_snapshots_are_sorted_by_id(self, live):
+        live.insert_object(DataObject(903, 0.2, 0.9))
+        oids = [o.oid for o in live.objects_snapshot()]
+        assert oids == sorted(oids)
+        for snapshot in live.feature_snapshots():
+            fids = [f.fid for f in snapshot]
+            assert fids == sorted(fids)
+
+    def test_apply_dispatches_every_op(self, live):
+        fid = live.feature_ids(0)[0]
+        oid = live.object_ids()[0]
+        events = [
+            Mutation(
+                "insert_feature",
+                feature=FeatureObject(910, 0.6, 0.6, 0.7, frozenset({3})),
+            ),
+            Mutation("move_feature", fid=910, x=0.65, y=0.65),
+            Mutation("rescore_feature", fid=910, score=0.1),
+            Mutation("delete_feature", set_id=0, fid=fid),
+            Mutation("insert_object", obj=DataObject(911, 0.7, 0.7)),
+            Mutation("delete_object", oid=oid),
+        ]
+        assert {e.op for e in events} == set(MUTATION_OPS)
+        for event in events:
+            live.apply(event)
+        assert fid not in live.feature_ids(0)
+        assert live.get_feature(0, 910).score == 0.1
+        assert oid not in live.object_ids()
+        live.check_consistency()
+
+    def test_apply_rejects_unknown_op(self, live):
+        with pytest.raises(DatasetError, match="unknown mutation op"):
+            live.apply(Mutation("truncate_everything"))
+
+    def test_entry_constructors_match_tree_contents(self):
+        feature = FeatureObject(1, 0.1, 0.2, 0.3, frozenset({0, 2}))
+        entry = feature_entry(feature)
+        assert (entry.fid, entry.x, entry.y, entry.score) == (1, 0.1, 0.2, 0.3)
+        assert entry.mask == feature.keyword_mask()
+        obj = DataObject(2, 0.4, 0.5)
+        assert object_entry(obj) == object_entry(DataObject(2, 0.4, 0.5))
+
+    def test_mutation_metrics_count_by_target_and_op(self, live):
+        registry().reset(LIVE_METRIC_FAMILIES)
+        live.insert_object(DataObject(920, 0.5, 0.1))
+        live.delete_object(920)
+        live.rescore_feature(1, live.feature_ids(1)[0], 0.4)
+        counter = live_mutations_metric()
+        assert counter.labels(target="object", op="insert").value == 1
+        assert counter.labels(target="object", op="delete").value == 1
+        assert counter.labels(target="feature", op="rescore").value == 1
+
+    def test_divergence_is_reported_not_masked(self, live):
+        fid = live.feature_ids(0)[0]
+        feature = live.get_feature(0, fid)
+        # Sabotage: remove the entry behind the live layer's back.
+        assert live.processor.feature_trees[0].delete(feature_entry(feature))
+        with pytest.raises(DatasetError, match="divergence"):
+            live.delete_feature(0, fid)
+        oid = live.object_ids()[0]
+        obj = live.get_object(oid)
+        assert live.processor.object_tree.delete(object_entry(obj))
+        with pytest.raises(DatasetError, match="divergence"):
+            live.delete_object(oid)
+
+    def test_check_consistency_catches_count_mismatch(self, live):
+        live.processor.object_tree.insert(object_entry(DataObject(930, 0.5, 0.5)))
+        with pytest.raises(DatasetError, match="mirror has"):
+            live.check_consistency()
+
+    def test_query_explain_and_clear_pass_through(self, live):
+        result = live.query(QUERY)
+        assert result.items
+        plan = live.explain(QUERY)
+        assert plan is not None
+        dropped = live.clear_buffers()
+        assert dropped  # at least one tree had cached state
+
+
+# ----------------------------------------------------------------------
+# standing-query monitor
+# ----------------------------------------------------------------------
+class TestTopKMonitor:
+    def test_baseline_is_not_reported_as_entries(self, live):
+        registry().reset(MONITOR_METRIC_FAMILIES)
+        monitor = TopKMonitor(live, QUERY)
+        assert len(monitor.results) == QUERY.k
+        assert monitor.version == live.version
+        assert monitor_refreshes_metric().value == 1
+        delta = monitor.refresh()
+        assert not delta.changed  # nothing mutated, nothing reported
+
+    def test_idle_refresh_skips_the_query(self, live):
+        registry().reset(MONITOR_METRIC_FAMILIES)
+        monitor = TopKMonitor(live, QUERY)
+        monitor.refresh()
+        monitor.refresh()
+        assert monitor_refreshes_metric().value == 1  # baseline only
+        monitor.refresh(force=True)
+        assert monitor_refreshes_metric().value == 2
+
+    def test_deleting_the_top_object_reports_exit_and_entry(self, live):
+        registry().reset(MONITOR_METRIC_FAMILIES)
+        monitor = TopKMonitor(live, QUERY)
+        top = monitor.results[0]
+        live.delete_object(top.oid)
+        delta = monitor.refresh()
+        assert delta.changed
+        assert top.oid in {item.oid for item in delta.exited}
+        assert len(delta.entered) == len(delta.exited)  # k stays filled
+        assert top.oid not in {item.oid for item in monitor.results}
+        assert delta.version == live.version
+        changes = monitor_changes_metric()
+        assert changes.labels(kind="exited").value >= 1
+        assert changes.labels(kind="entered").value >= 1
+
+    def test_rescoring_reports_rescored_pairs(self, live):
+        wide = PreferenceQuery(
+            live.n_objects, 0.35, 0.5, (0xFFFF, 0xFFFF), Variant.RANGE
+        )
+        monitor = TopKMonitor(live, wide)
+        for fid in live.feature_ids(0):
+            live.rescore_feature(0, fid, 0.0)
+        delta = monitor.refresh()
+        assert delta.changed
+        assert not delta.entered and not delta.exited  # k covers everyone
+        assert delta.rescored
+        for before, after in delta.rescored:
+            assert before.oid == after.oid
+            assert before != after
+
+    def test_drain_applies_then_refreshes_once(self, live):
+        registry().reset(MONITOR_METRIC_FAMILIES)
+        monitor = TopKMonitor(live, QUERY)
+        oid = live.object_ids()[0]
+        delta = monitor.drain(
+            [
+                Mutation("insert_object", obj=DataObject(940, 0.5, 0.5)),
+                Mutation("delete_object", oid=oid),
+            ]
+        )
+        assert delta.version == live.version
+        assert monitor_refreshes_metric().value == 2  # baseline + one
+
+    def test_delta_changed_property(self):
+        assert not TopKDelta(0).changed
+        item = object()  # changed only inspects truthiness
+        assert TopKDelta(1, entered=(item,)).changed
+
+
+# ----------------------------------------------------------------------
+# sharded routing restrictions (thread mode; process mode has its own
+# oracle test)
+# ----------------------------------------------------------------------
+class TestShardedRouting:
+    def small_sharded(self, **kwargs) -> LiveShardedDataset:
+        objects, feature_sets = live_world(
+            n_objects=40, n_features=30, seed=7
+        )
+        kwargs.setdefault("shards", 4)
+        kwargs.setdefault("radius", 0.25)
+        kwargs.setdefault("page_size", 512)
+        kwargs.setdefault("buffer_pages", 32)
+        return LiveShardedDataset.build(objects, feature_sets, **kwargs)
+
+    def test_ctor_rejects_feature_set_count_mismatch(self):
+        with self.small_sharded() as live:
+            sets = live.feature_snapshots()
+            with pytest.raises(DatasetError, match="feature trees"):
+                LiveShardedDataset(
+                    live.processor, live.objects_snapshot(), sets[:1]
+                )
+
+    def test_halo_mode_rejects_objects_outside_every_region(self):
+        with self.small_sharded() as live:
+            n = live.n_objects
+            with pytest.raises(ShardError, match="outside every shard"):
+                live.insert_object(DataObject(950, 5.0, 5.0))
+            # The failed mutation left no trace in the mirror.
+            assert live.n_objects == n
+            assert 950 not in live.object_ids()
+            live.check_consistency()
+
+    def test_full_replication_accepts_objects_anywhere(self):
+        with self.small_sharded(replication="full") as live:
+            live.insert_object(DataObject(951, 5.0, 5.0))
+            assert 951 in live.object_ids()
+            live.check_consistency()
+
+    def test_thread_mode_flush_is_a_noop(self):
+        with self.small_sharded() as live:
+            live.rescore_feature(0, live.feature_ids(0)[0], 0.5)
+            assert live.flush() == 0
+            assert live.refreezes == 0
+
+    def test_boundary_crossing_move_counts_a_relocation(self):
+        with self.small_sharded() as live:
+            registry().reset(LIVE_METRIC_FAMILIES)
+            # Corner-to-corner move: the halo set must change on a 2x2
+            # partition with r=0.25.
+            feature = FeatureObject(952, 0.02, 0.02, 0.9, frozenset({1}))
+            live.insert_feature(0, feature)
+            before = live.relocations
+            live.move_feature(0, 952, 0.98, 0.98)
+            assert live.relocations == before + 1
+            assert live_relocations_metric().value == 1
+            live.check_consistency()
+
+    def test_membership_divergence_is_reported(self):
+        with self.small_sharded() as live:
+            fid = live.feature_ids(0)[0]
+            feature = live.get_feature(0, fid)
+            shard_idx = next(iter(live._feature_shards[0][fid]))
+            tree = live.processor.shards[shard_idx].processor.feature_trees[0]
+            assert tree.delete(feature_entry(feature))
+            with pytest.raises(DatasetError, match="divergence"):
+                live.delete_feature(0, fid)
+
+    def test_check_consistency_catches_unrouted_object(self):
+        with self.small_sharded() as live:
+            live._object_shard.pop(live.object_ids()[0])
+            with pytest.raises(DatasetError, match="objects routed"):
+                live.check_consistency()

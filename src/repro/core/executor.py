@@ -90,9 +90,14 @@ def live_executors() -> list["QueryExecutor"]:
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence."""
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    An empty sample has no percentiles: returns NaN rather than a
+    made-up 0.0 (an all-failures batch with ``on_error="return"``
+    produces exactly this case — 0.0 would read as "instant queries").
+    """
     if not sorted_values:
-        return 0.0
+        return math.nan
     rank = max(1, math.ceil(q * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
@@ -170,7 +175,11 @@ class BatchReport:
         return self.node_cache_hits / total if total else 0.0
 
     def latency_percentiles(self) -> dict[str, float]:
-        """{"p50": ..., "p95": ..., "p99": ...} of per-query latency."""
+        """{"p50": ..., "p95": ..., "p99": ...} of per-query latency.
+
+        All values are NaN when no query executed successfully (e.g. an
+        all-failures batch under ``on_error="return"``).
+        """
         ordered = sorted(self.latencies_s)
         return {
             "p50": _percentile(ordered, 0.50),
@@ -458,6 +467,36 @@ class QueryExecutor:
         if not dedup:
             return results
         return [results[distinct[query]] for query in queries]
+
+    def execute_one(
+        self,
+        query: PreferenceQuery,
+        algorithm: str = "stps",
+        pulling: str = PULL_PRIORITIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int | None = None,
+    ) -> tuple[QueryResult, float, float]:
+        """Run one query through the pool; ``(result, queue_wait_s, latency_s)``.
+
+        The serving layer's entry point: a request-at-a-time analogue of
+        :meth:`query_many` that surfaces the two numbers admission
+        control needs — how long the query waited for a worker and how
+        long it executed.  Failures raise (the caller owns per-request
+        error mapping; there is no batch to isolate them from).
+        """
+        timings: list[tuple[float, float]] = []
+        result = self.query_many(
+            [query],
+            algorithm=algorithm,
+            pulling=pulling,
+            batch_size=batch_size,
+            parallelism=parallelism,
+            dedup=False,
+            on_error="raise",
+            _timings=timings,
+        )[0]
+        queue_wait_s, latency_s = timings[0] if timings else (0.0, 0.0)
+        return result, queue_wait_s, latency_s
 
     def run(
         self,

@@ -26,7 +26,7 @@ from repro.core.combinations import PULL_PRIORITIZED
 from repro.core.influence import stps_influence
 from repro.core.nearest import stps_nearest
 from repro.core.query import PreferenceQuery, Variant
-from repro.core.results import QueryResult
+from repro.core.results import QueryResult, QueryStats
 from repro.core.stds import DEFAULT_BATCH_SIZE, stds
 from repro.core.stps import stps
 from repro.errors import QueryError
@@ -276,6 +276,16 @@ class QueryProcessor:
         collector=_explain.NULL_COLLECTOR,
     ) -> QueryResult:
         """Route to the algorithm/variant implementation (uninstrumented)."""
+        if algorithm not in (ALGORITHM_STPS, ALGORITHM_STDS, ALGORITHM_ISS):
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; choose 'stps', 'stds' "
+                "or 'iss'"
+            )
+        if query.k == 0:
+            # k=0 asks for nothing: the empty result is exact and
+            # (vacuously) tie-complete for every engine.  Short-circuit
+            # here so no engine has to reason about an empty top-k heap.
+            return QueryResult([], QueryStats())
         if algorithm == ALGORITHM_STDS:
             return stds(
                 self.object_tree,
@@ -292,11 +302,6 @@ class QueryProcessor:
             return influence_search(
                 self.object_tree, self.feature_trees, query,
                 collector=collector,
-            )
-        if algorithm != ALGORITHM_STPS:
-            raise QueryError(
-                f"unknown algorithm {algorithm!r}; choose 'stps', 'stds' "
-                "or 'iss'"
             )
         if query.variant is Variant.RANGE:
             return stps(

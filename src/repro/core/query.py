@@ -40,8 +40,8 @@ class PreferenceQuery:
     variant: Variant = Variant.RANGE
 
     def __post_init__(self) -> None:
-        if self.k < 1:
-            raise QueryError(f"k must be >= 1, got {self.k}")
+        if self.k < 0:
+            raise QueryError(f"k must be >= 0, got {self.k}")
         if self.radius <= 0.0:
             raise QueryError(f"radius must be positive, got {self.radius}")
         if not 0.0 <= self.lam <= 1.0:

@@ -152,6 +152,7 @@ class LiveBase:
         self._labels = [fs.label for fs in feature_sets]
         #: Monotone mutation counter; bumped once per applied mutation.
         self.version = 0
+        self._mutation_listeners: list = []
 
     # ------------------------------------------------------------------
     # index write hooks (subclass responsibility)
@@ -309,9 +310,32 @@ class LiveBase:
                 f"unknown mutation op {op!r}; choose from {MUTATION_OPS}"
             )
 
+    def add_mutation_listener(self, fn) -> None:
+        """Register ``fn(target, op)``, called after every applied mutation.
+
+        Listeners run under the mutation lock, *after* the index write
+        and mirror update committed — a listener that invalidates a
+        derived structure (e.g. the serving layer's result cache, see
+        :mod:`repro.serve.cache`) therefore never observes a
+        half-applied world.  Keep listeners cheap: they sit on the
+        mutation path.
+        """
+        with self._lock:
+            self._mutation_listeners.append(fn)
+
+    def remove_mutation_listener(self, fn) -> None:
+        """Unregister a listener previously added (missing ones are a no-op)."""
+        with self._lock:
+            try:
+                self._mutation_listeners.remove(fn)
+            except ValueError:
+                pass
+
     def _bump(self, target: str, op: str) -> None:
         self.version += 1
         live_mutations_metric().labels(target=target, op=op).inc()
+        for fn in tuple(self._mutation_listeners):
+            fn(target, op)
 
     # ------------------------------------------------------------------
     # snapshots (rebuild / brute-force oracle input)

@@ -444,6 +444,19 @@ class _Handler(BaseHTTPRequestHandler):
     slos = None                # list[SLO] | None
     timeline_spec = None       # dict | None
 
+    #: Socket read timeout.  A half-open client (connected, never sends
+    #: a complete request line) would otherwise pin its handler thread
+    #: in ``rfile.readline`` forever; with the timeout the read raises,
+    #: ``handle_one_request`` closes the connection, and the thread
+    #: exits on its own.
+    timeout = 5.0
+
+    #: TCP_NODELAY.  Responses go out as (at least) two small writes —
+    #: the header block, then the body — and with Nagle on, the second
+    #: write stalls until the client ACKs the first: a flat ~40 ms
+    #: added to every keep-alive request on Linux (delayed ACK).
+    disable_nagle_algorithm = True
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0]
         if path in ("/metrics", "/"):
@@ -563,13 +576,26 @@ class MetricsServer:
         return self
 
     def close(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
-            self._httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop serving and release the port; returns promptly.
+
+        Handler threads are daemonic and never joined, and the listening
+        socket is shut *before* the serve-thread join, so a stalled or
+        half-open client connection cannot wedge close() — the worst
+        case is the serve loop's poll interval, not a client's lifetime.
+        Stuck handler threads drain on their own via the handler socket
+        ``timeout``.
+        """
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
+            if thread.is_alive():  # pragma: no cover - defensive
+                logger.warning(
+                    "metrics endpoint thread still alive after close()"
+                )
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -60,6 +60,14 @@ SHARD_SPEEDUP_FLOOR = 1.3
 #: it gates only when the run's machine had >= PROCESS_FANOUT_MIN_CPUS.
 PROCESS_FANOUT_SPEEDUP_FLOOR = 1.5
 PROCESS_FANOUT_MIN_CPUS = 4
+#: Floor mode, serving bench: minimum sustained QPS under zipf load.
+SERVE_QPS_FLOOR = 100.0
+#: Floor mode, serving bench: minimum result-cache hit rate under the
+#: zipf-skewed key distribution (s=1.1).
+SERVE_CACHE_HIT_FLOOR = 0.5
+#: Floor mode, serving bench: headroom/isolation ratios must be >= 1
+#: (p99 under the SLO target; victim p99 within 1.2x its solo run).
+SERVE_RATIO_FLOOR = 1.0
 
 #: Config keys that describe the machine, not the workload — two runs
 #: differing only in these still compare in matched mode.
@@ -121,6 +129,18 @@ def extract_metrics(doc: dict) -> dict[str, dict[str, float]]:
             out[f"shards/process/{process.get('algorithm', 'stps')}"] = (
                 metrics
             )
+    elif bench == "serve-load":
+        load = doc.get("load", {})
+        metrics = {}
+        for key in ("sustained_qps", "cache_hit_rate", "p99_slo_headroom"):
+            if key in load:
+                metrics[key] = float(load[key])
+        out["serve/load"] = metrics
+        quota = doc.get("quota", {})
+        if "victim_isolation" in quota:
+            out["serve/quota"] = {
+                "victim_isolation": float(quota["victim_isolation"])
+            }
     return out
 
 
@@ -253,6 +273,20 @@ def compare_docs(baseline: dict, current: dict) -> dict:
                         "current": process_value,
                         "ok": True,
                     })
+        elif bench == "serve-load":
+            floors = {
+                ("serve/load", "sustained_qps"): SERVE_QPS_FLOOR,
+                ("serve/load", "cache_hit_rate"): SERVE_CACHE_HIT_FLOOR,
+                ("serve/load", "p99_slo_headroom"): SERVE_RATIO_FLOOR,
+                ("serve/quota", "victim_isolation"): SERVE_RATIO_FLOOR,
+            }
+            for (unit, metric), floor in floors.items():
+                value = cur_metrics.get(unit, {}).get(metric)
+                if value is not None:
+                    checks.append(_check(
+                        unit, metric, "floor", floor,
+                        base_metrics.get(unit, {}).get(metric), value,
+                    ))
     if not checks:
         return {
             "benchmark": bench,

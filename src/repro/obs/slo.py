@@ -351,6 +351,16 @@ def default_slos() -> list[SLO]:
             description="99.9% of queries complete without an executor "
                         "failure.",
         ),
+        LatencySLO(
+            name="serve_latency_p99_100ms",
+            objective=0.99,
+            metric="repro_serve_request_seconds",
+            threshold_s=0.1,
+            description="99% of serving requests (admission + execution) "
+                        "answer within ~100ms (bucket-snapped) over the "
+                        "accounting window; the serving layer's "
+                        "backpressure gate enforces the same threshold.",
+        ),
     ]
 
 

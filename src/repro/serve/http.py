@@ -1,0 +1,292 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.QueryService`.
+
+One :class:`ServeServer` mounts everything a deployment needs on a
+single port, no third-party dependency:
+
+* ``POST /query`` (JSON body) and ``GET /query`` (query string) — the
+  serving path: admission control + execution via the shared
+  :class:`QueryService`.  429 responses carry ``Retry-After``.
+* ``GET /stats/serve`` — live admission/cache/quota state.
+* Everything :class:`repro.obs.export.MetricsServer` serves —
+  ``/metrics``, ``/openmetrics``, ``/metrics.json``, ``/healthz``,
+  ``/timeseries.json``, ``/dashboard``, ``/flight.json``,
+  ``/flamegraph.txt`` — by inheriting its handler, so the scrape
+  endpoint and the query endpoint share one listener.
+
+Request shape (POST body or GET query string)::
+
+    {"tenant": "acme", "algorithm": "stps", "pulling": "prioritized",
+     "k": 5, "radius": 0.1, "lam": 0.5, "masks": [3, 1],
+     "variant": "range"}
+
+``masks`` holds one keyword bit mask per feature set (the canonical
+:class:`~repro.core.query.PreferenceQuery` form; resolve keyword strings
+with :meth:`PreferenceQuery.from_terms` client-side, or serve-side via
+your own wrapper).  In a query string, ``masks`` is comma-separated:
+``/query?tenant=acme&k=5&radius=0.1&lam=0.5&masks=3,1``.  The tenant may
+also arrive as an ``X-Tenant`` header (body/param wins).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.query import PreferenceQuery, Variant
+from repro.errors import QueryError, ReproError
+from repro.obs import export as _export
+from repro.obs import metrics as _metrics
+from repro.serve.service import QueryService
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_TENANT = "anonymous"
+
+
+def parse_request(params: dict, headers=None) -> tuple[str, PreferenceQuery, str, str]:
+    """(tenant, query, algorithm, pulling) from a request's parameters.
+
+    ``params`` is a flat dict (JSON body or flattened query string);
+    raises :class:`QueryError` on anything malformed — the HTTP layer
+    maps that to a 400.
+    """
+    if not isinstance(params, dict):
+        raise QueryError("request body must be a JSON object")
+    tenant = str(params.get("tenant") or (
+        headers.get("X-Tenant") if headers else None
+    ) or DEFAULT_TENANT)
+    algorithm = str(params.get("algorithm", "stps"))
+    pulling = str(params.get("pulling", "prioritized"))
+    try:
+        k = int(params["k"])
+        radius = float(params["radius"])
+        lam = float(params["lam"])
+    except KeyError as exc:
+        raise QueryError(f"missing required field {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"malformed numeric field: {exc}") from exc
+    masks = params.get("masks")
+    if isinstance(masks, str):
+        masks = [m for m in masks.split(",") if m]
+    if not isinstance(masks, (list, tuple)) or not masks:
+        raise QueryError("'masks' must be a non-empty list of bit masks")
+    try:
+        mask_tuple = tuple(int(m) for m in masks)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"malformed mask: {exc}") from exc
+    variant_name = str(params.get("variant", "range"))
+    try:
+        variant = Variant(variant_name)
+    except ValueError as exc:
+        raise QueryError(
+            f"unknown variant {variant_name!r}; choose from "
+            f"{[v.value for v in Variant]}"
+        ) from exc
+    query = PreferenceQuery(k, radius, lam, mask_tuple, variant)
+    return tenant, query, algorithm, pulling
+
+
+def _decision_body(decision) -> dict:
+    """JSON payload for one ServeDecision."""
+    if decision.status == 200:
+        result = decision.result
+        return {
+            "status": 200,
+            "cached": decision.cached,
+            "items": [
+                {"oid": it.oid, "score": it.score, "x": it.x, "y": it.y}
+                for it in result.items
+            ],
+            "stats": {
+                "wall_s": result.stats.wall_s,
+                "io_reads": result.stats.io_reads,
+                "io_time_s": result.stats.io_time_s,
+                "combinations": result.stats.combinations,
+                "trace_id": result.stats.trace_id,
+            },
+            "queue_wait_s": decision.queue_wait_s,
+            "latency_s": decision.latency_s,
+        }
+    body = {"status": decision.status, "error": decision.reason}
+    if decision.status == 429:
+        body["retry_after_s"] = decision.retry_after_s
+    return body
+
+
+class _ServeHandler(_export._Handler):
+    """Query endpoint + everything the metrics handler already serves."""
+
+    service: QueryService  # set by ServeServer
+
+    # Accurate Content-Length on every response (send_error included)
+    # makes HTTP/1.1 keep-alive safe — and keep-alive is what lets a
+    # load generator sustain hundreds of QPS without a connection
+    # handshake per request.
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        split = urlsplit(self.path)
+        if split.path == "/query":
+            params = {
+                key: values[-1]
+                for key, values in parse_qs(split.query).items()
+            }
+            self._serve_query(params)
+        elif split.path == "/stats/serve":
+            self._send_json(200, self.service.describe())
+        else:
+            super().do_GET()
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if urlsplit(self.path).path != "/query":
+            self.send_error(404, "unknown path")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            params = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"status": 400, "error": f"bad body: {exc}"})
+            return
+        self._serve_query(params)
+
+    def _serve_query(self, params: dict) -> None:
+        try:
+            tenant, query, algorithm, pulling = parse_request(
+                params, self.headers
+            )
+        except (QueryError, ReproError) as exc:
+            self._send_json(400, {"status": 400, "error": str(exc)})
+            return
+        decision = self.service.handle(
+            tenant, query, algorithm=algorithm, pulling=pulling
+        )
+        headers = {}
+        if decision.status == 429:
+            # Whole seconds, rounded up: Retry-After is integral in
+            # HTTP, and rounding down would invite an early retry that
+            # meets a still-empty bucket.
+            headers["Retry-After"] = str(
+                max(1, int(decision.retry_after_s + 0.999))
+            )
+        self._send_json(decision.status, _decision_body(decision), headers)
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        logger.debug("serve endpoint: " + fmt, *args)
+
+
+class ServeServer:
+    """The online query service: one port, query + observability.
+
+    Mirrors :class:`~repro.obs.export.MetricsServer`'s lifecycle (daemon
+    serve thread, ephemeral ``port=0`` binding, prompt :meth:`close`)
+    and adds the ``/query`` + ``/stats/serve`` routes bound to a
+    :class:`QueryService`.
+
+    Usage::
+
+        service = QueryService(executor, config, live=live)
+        server = ServeServer(service, port=0).start()
+        print(f"query http://127.0.0.1:{server.port}/query")
+        ...
+        server.close()
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+        ring=None,
+        slos=None,
+        timeline_spec: dict | None = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.registry = (
+            registry if registry is not None else _metrics.registry()
+        )
+        self.ring = ring
+        self.slos = slos
+        self.timeline_spec = timeline_spec
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    def start(self) -> "ServeServer":
+        if self._httpd is not None:
+            return self
+        handler = type(
+            "BoundServeHandler",
+            (_ServeHandler,),
+            {
+                "service": self.service,
+                "registry": self.registry,
+                "ring": self.ring,
+                "slos": self.slos,
+                "timeline_spec": self.timeline_spec,
+            },
+        )
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info(
+            "query service listening on %s:%d", self.host, self.port
+        )
+        return self
+
+    def close(self) -> None:
+        """Stop listening and detach the service's live hooks.
+
+        Same promptness contract as :meth:`MetricsServer.close`: the
+        listening socket shuts before the join, daemonic handler threads
+        drain via their socket timeout, and the shared executor is left
+        running (its owner closes it).
+        """
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
+            if thread.is_alive():  # pragma: no cover - defensive
+                logger.warning(
+                    "serve endpoint thread still alive after close()"
+                )
+        self.service.close()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

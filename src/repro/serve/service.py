@@ -1,0 +1,353 @@
+"""Transport-agnostic serving core: admission control + dispatch.
+
+:class:`QueryService` is what the HTTP layer (:mod:`repro.serve.http`)
+wraps: one long-lived object owning a quota table, a result cache and a
+shared :class:`~repro.core.executor.QueryExecutor` (whose processor may
+be a single-node :class:`~repro.core.processor.QueryProcessor` or a
+:class:`~repro.shard.ShardedQueryProcessor`).  Keeping it free of any
+HTTP types makes every admission decision unit-testable without sockets.
+
+A request passes through three gates, in a deliberate order:
+
+1. **Quota** — the tenant's token bucket (:mod:`repro.serve.quota`).
+   First, so an abusive tenant is clamped before it can touch shared
+   resources (even the cache: a hot key must not launder an exhausted
+   tenant's traffic past its bucket).
+2. **Cache** — the epoch-validated result cache
+   (:mod:`repro.serve.cache`).  Hits return immediately and *bypass
+   backpressure*: a cache hit costs no executor capacity, so rejecting
+   it during overload would throw away exactly the traffic that is
+   cheapest to serve.  Under zipf-skewed keys this is what keeps the
+   p99 flat while the executor is saturated.
+3. **Backpressure** — reject with 429/``Retry-After`` when the executor
+   queue is past its depth bound, or when the sliding-window p95 of
+   queue wait has breached the committed SLO latency target
+   (``SLO.json``): once waiting for a worker alone eats the latency
+   budget, admitting more work can only create SLO-violating answers.
+
+Admitted queries run via :meth:`QueryExecutor.execute_one`, which
+reports the (queue_wait, latency) sample that feeds the backpressure
+window and the ``repro_serve_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.combinations import PULL_PRIORITIZED, PULL_ROUND_ROBIN
+from repro.core.processor import ALGORITHM_ISS, ALGORITHM_STDS, ALGORITHM_STPS
+from repro.core.query import PreferenceQuery
+from repro.core.results import QueryResult
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs import slo as _slo
+from repro.serve.cache import ResultCache, query_signature
+from repro.serve.quota import QuotaSpec, TenantQuotas
+
+ALGORITHMS = (ALGORITHM_STPS, ALGORITHM_STDS, ALGORITHM_ISS)
+PULLING_STRATEGIES = (PULL_PRIORITIZED, PULL_ROUND_ROBIN)
+
+#: Default bound on queries queued behind the executor's workers.
+DEFAULT_MAX_QUEUE_DEPTH = 64
+
+#: Default sliding-window size (samples) for the queue-wait p95 gate.
+DEFAULT_QUEUE_WAIT_WINDOW = 256
+
+#: Fallback latency target when no SLO document is available.
+DEFAULT_LATENCY_SLO_S = 0.1
+
+#: Metric families owned by the serving layer (reset scope).
+SERVE_METRIC_FAMILIES = (
+    "repro_serve_requests_total",
+    "repro_serve_rejections_total",
+    "repro_serve_request_seconds",
+)
+
+
+def requests_metric() -> "_metrics.MetricFamily":
+    """Requests by outcome; lazily bound to the current registry."""
+    return _metrics.registry().counter(
+        "repro_serve_requests_total",
+        "Serving requests by outcome.",
+        ("status",),
+    )
+
+
+def rejections_metric() -> "_metrics.MetricFamily":
+    """Admission rejections by gate (quota / backpressure)."""
+    return _metrics.registry().counter(
+        "repro_serve_rejections_total",
+        "Requests rejected by admission control.",
+        ("reason",),
+    )
+
+
+def request_seconds_metric() -> "_metrics.MetricFamily":
+    """End-to-end serving latency (admission + execution)."""
+    return _metrics.registry().histogram(
+        "repro_serve_request_seconds",
+        "Wall time from admission to response, by outcome.",
+        ("status",),
+    )
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Operator knobs for one :class:`QueryService`."""
+
+    default_quota: QuotaSpec = field(default_factory=QuotaSpec)
+    quota_overrides: dict[str, QuotaSpec] = field(default_factory=dict)
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    #: Committed latency target the backpressure gate enforces; load it
+    #: from the repo's ``SLO.json`` with :meth:`from_slo_file`.
+    latency_slo_s: float = DEFAULT_LATENCY_SLO_S
+    queue_wait_window: int = DEFAULT_QUEUE_WAIT_WINDOW
+    cache_entries: int = 4096
+    cache_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ReproError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.latency_slo_s <= 0:
+            raise ReproError(
+                f"latency_slo_s must be > 0, got {self.latency_slo_s}"
+            )
+        if self.queue_wait_window < 1:
+            raise ReproError(
+                f"queue_wait_window must be >= 1, got {self.queue_wait_window}"
+            )
+
+    @classmethod
+    def from_slo_file(cls, path: str | Path, **kwargs) -> "ServeConfig":
+        """Config whose latency target is the committed SLO threshold.
+
+        Prefers the serving-path latency SLO (metric
+        ``repro_serve_request_seconds``); falls back to any latency SLO
+        in the document, then to :data:`DEFAULT_LATENCY_SLO_S`.
+        """
+        threshold = DEFAULT_LATENCY_SLO_S
+        latency_slos = [
+            s for s in _slo.load_slos(path)
+            if isinstance(s, _slo.LatencySLO)
+        ]
+        for candidate in latency_slos:
+            if candidate.metric == "repro_serve_request_seconds":
+                threshold = candidate.threshold_s
+                break
+        else:
+            if latency_slos:
+                threshold = latency_slos[0].threshold_s
+        kwargs.setdefault("latency_slo_s", threshold)
+        return cls(**kwargs)
+
+
+@dataclass(slots=True)
+class ServeDecision:
+    """One request's outcome, independent of transport.
+
+    ``status`` is deliberately HTTP-shaped (200/400/429/500) so the
+    transport layer is a dumb mapping, but nothing here imports HTTP.
+    """
+
+    status: int
+    result: QueryResult | None = None
+    cached: bool = False
+    retry_after_s: float = 0.0
+    reason: str = ""
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+
+
+class QueryService:
+    """Multi-tenant admission control around a shared executor."""
+
+    def __init__(
+        self,
+        executor,
+        config: ServeConfig | None = None,
+        live=None,
+    ) -> None:
+        self.executor = executor
+        self.config = config or ServeConfig()
+        self.quotas = TenantQuotas(
+            default=self.config.default_quota,
+            overrides=self.config.quota_overrides,
+        )
+        self.cache = ResultCache(max_entries=self.config.cache_entries)
+        if live is not None:
+            self.cache.attach_live(live)
+        self._lock = threading.Lock()
+        self._queue_waits: deque[float] = deque(
+            maxlen=self.config.queue_wait_window
+        )
+        self.started_at = time.time()
+        self.served = 0
+        self.errors = 0
+        self.rejected_quota = 0
+        self.rejected_backpressure = 0
+
+    # ------------------------------------------------------------------
+    # admission gates
+    # ------------------------------------------------------------------
+    def queue_wait_p95(self) -> float:
+        """Sliding-window p95 of executor queue wait (0.0 when empty)."""
+        with self._lock:
+            if not self._queue_waits:
+                return 0.0
+            ordered = sorted(self._queue_waits)
+        rank = max(1, math.ceil(0.95 * len(ordered)))
+        return ordered[rank - 1]
+
+    def _backpressured(self) -> tuple[bool, str]:
+        """(reject?, reason) from queue depth and the SLO latency gate."""
+        depth = self.executor.queue_depth
+        if depth >= self.config.max_queue_depth:
+            return True, (
+                f"queue depth {depth} at bound {self.config.max_queue_depth}"
+            )
+        p95 = self.queue_wait_p95()
+        if p95 > self.config.latency_slo_s:
+            return True, (
+                f"queue wait p95 {p95 * 1e3:.1f}ms over SLO target "
+                f"{self.config.latency_slo_s * 1e3:.0f}ms"
+            )
+        return False, ""
+
+    def _backpressure_retry_after(self) -> float:
+        """A drain-time estimate: queued work / observed service rate."""
+        with self._lock:
+            waits = len(self._queue_waits)
+        # Half the SLO target per queued query is a deliberately rough
+        # but monotone signal: deeper queue -> longer Retry-After.
+        depth = max(1, self.executor.queue_depth)
+        workers = max(1, getattr(self.executor, "max_workers", 1))
+        estimate = depth * (self.config.latency_slo_s / 2.0) / workers
+        return max(0.05, min(5.0, estimate)) if waits or depth else 0.05
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        tenant: str,
+        query: PreferenceQuery,
+        algorithm: str = ALGORITHM_STPS,
+        pulling: str = PULL_PRIORITIZED,
+    ) -> ServeDecision:
+        """Admit + execute one request; never raises for request faults."""
+        t0 = time.perf_counter()
+        if algorithm not in ALGORITHMS:
+            return self._finish(t0, ServeDecision(
+                status=400,
+                reason=f"unknown algorithm {algorithm!r}; "
+                       f"choose from {list(ALGORITHMS)}",
+            ))
+        if pulling not in PULLING_STRATEGIES:
+            return self._finish(t0, ServeDecision(
+                status=400,
+                reason=f"unknown pulling {pulling!r}; "
+                       f"choose from {list(PULLING_STRATEGIES)}",
+            ))
+
+        # Gate 1: tenant quota.
+        retry_after = self.quotas.try_acquire(tenant)
+        if retry_after > 0.0:
+            self.rejected_quota += 1
+            rejections_metric().labels(reason="quota").inc()
+            return self._finish(t0, ServeDecision(
+                status=429,
+                retry_after_s=retry_after,
+                reason=f"tenant {tenant!r} over quota",
+            ))
+
+        # Gate 2: result cache (hits bypass backpressure — they cost no
+        # executor capacity, so shedding them would be pure waste).
+        key = None
+        if self.config.cache_enabled:
+            key = query_signature(query, algorithm, pulling)
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.served += 1
+                return self._finish(t0, ServeDecision(
+                    status=200, result=hit, cached=True,
+                ))
+
+        # Gate 3: backpressure.
+        shed, why = self._backpressured()
+        if shed:
+            self.rejected_backpressure += 1
+            rejections_metric().labels(reason="backpressure").inc()
+            return self._finish(t0, ServeDecision(
+                status=429,
+                retry_after_s=self._backpressure_retry_after(),
+                reason=why,
+            ))
+
+        # Execute.
+        try:
+            result, queue_wait_s, latency_s = self.executor.execute_one(
+                query, algorithm=algorithm, pulling=pulling
+            )
+        except ReproError as exc:
+            self.errors += 1
+            return self._finish(t0, ServeDecision(
+                status=400, reason=str(exc)
+            ))
+        except Exception as exc:  # engine bug: the request still answers
+            self.errors += 1
+            return self._finish(t0, ServeDecision(
+                status=500, reason=f"{type(exc).__name__}: {exc}"
+            ))
+        with self._lock:
+            self._queue_waits.append(queue_wait_s)
+        if key is not None:
+            self.cache.put(key, result)
+        self.served += 1
+        return self._finish(t0, ServeDecision(
+            status=200, result=result,
+            queue_wait_s=queue_wait_s, latency_s=latency_s,
+        ))
+
+    def _finish(self, t0: float, decision: ServeDecision) -> ServeDecision:
+        elapsed = time.perf_counter() - t0
+        status = str(decision.status)
+        requests_metric().labels(status=status).inc()
+        request_seconds_metric().labels(status=status).observe(elapsed)
+        return decision
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Live service state for ``/stats/serve`` (strict JSON)."""
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "served": self.served,
+            "errors": self.errors,
+            "rejected": {
+                "quota": self.rejected_quota,
+                "backpressure": self.rejected_backpressure,
+            },
+            "executor": {
+                "queue_depth": self.executor.queue_depth,
+                "running": self.executor.running_count,
+                "max_workers": getattr(self.executor, "max_workers", None),
+                "max_queue_depth": self.config.max_queue_depth,
+                "queue_wait_p95_s": round(self.queue_wait_p95(), 6),
+                "latency_slo_s": self.config.latency_slo_s,
+            },
+            "cache": self.cache.describe(),
+            "quotas": self.quotas.describe(),
+        }
+
+    def close(self) -> None:
+        """Detach live-mutation listeners (the executor is shared: the
+        owner closes it)."""
+        self.cache.detach()

@@ -486,6 +486,15 @@ class ShardedQueryProcessor:
         if self._closed:
             raise ShardError(-1, "sharded processor is closed")
         self._check_supported(query)
+        if query.k == 0:
+            # Nothing to fan out for: k=0's empty answer is exact and
+            # tie-complete regardless of shard layout or fanout mode
+            # (and _GlobalTopK(0) has no meaningful floor).
+            stats = QueryStats()
+            stats.trace_id = (
+                _tracing.current_trace_id() or _tracing.new_trace_id()
+            )
+            return QueryResult([], stats)
         t0 = time.perf_counter()
         trace_id = _tracing.current_trace_id() or _tracing.new_trace_id()
         rec = _tracing.recorder()

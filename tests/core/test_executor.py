@@ -220,12 +220,17 @@ class TestLatencyAccounting:
         assert qpct["p50"] <= qpct["p95"] <= qpct["p99"]
         assert report.queue_wait_p95_s == qpct["p95"]
 
-    def test_empty_batch_has_zero_percentiles(self, srt_processor):
+    def test_empty_batch_has_nan_percentiles(self, srt_processor):
+        # NaN, not 0.0: "no data" must not read as "instant" in
+        # dashboards or regression math (0.0 would pass any latency
+        # gate).  Same contract as an all-failures batch.
+        import math
+
         with QueryExecutor(srt_processor, max_workers=2) as executor:
             report = executor.run([])
         assert report.latencies_s == []
-        assert report.latency_p99_s == 0.0
-        assert report.queue_wait_p50_s == 0.0
+        assert math.isnan(report.latency_p99_s)
+        assert math.isnan(report.queue_wait_p50_s)
 
     def test_aggregate_phase_times(self, srt_processor):
         from repro.obs import tracing

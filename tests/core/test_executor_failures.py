@@ -10,6 +10,7 @@ deferred re-raise), and the executor stays usable afterwards.
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -167,3 +168,36 @@ class TestOnErrorRaise:
         with QueryExecutor(processor, max_workers=1) as executor:
             with pytest.raises(QueryError, match="on_error"):
                 executor.query_many([_query(seed=16)], on_error="ignore")
+
+
+class TestAllFailuresPercentiles:
+    """An all-failures batch has no latency samples — percentiles must
+    come back NaN (not raise, not a made-up 0.0)."""
+
+    def test_percentiles_are_nan_not_an_exception(self, processor):
+        flaky = _FlakyProcessor(processor)
+        queries = [
+            _query(seed=20 + i, radius=POISON_RADIUS) for i in range(3)
+        ]
+        with QueryExecutor(flaky, max_workers=2) as executor:
+            report = executor.run(queries, on_error="return")
+        assert all(r is None for r in report.results)
+        assert len(report.failures) == 3
+        latency = report.latency_percentiles()
+        queue_wait = report.queue_wait_percentiles()
+        assert set(latency) == set(queue_wait) == {"p50", "p95", "p99"}
+        assert all(math.isnan(v) for v in latency.values())
+        assert all(math.isnan(v) for v in queue_wait.values())
+        for prop in (
+            report.latency_p50_s, report.latency_p95_s,
+            report.latency_p99_s, report.queue_wait_p50_s,
+            report.queue_wait_p95_s, report.queue_wait_p99_s,
+        ):
+            assert math.isnan(prop)
+        # Derived aggregates stay well-defined numbers.
+        assert report.throughput_qps >= 0.0
+
+    def test_empty_report_percentiles_are_nan(self):
+        report = BatchReport()
+        assert math.isnan(report.latency_percentiles()["p50"])
+        assert math.isnan(report.queue_wait_percentiles()["p99"])

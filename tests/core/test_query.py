@@ -21,10 +21,15 @@ class TestValidation:
         assert q.c == 2
         assert q.variant is Variant.RANGE
 
-    @pytest.mark.parametrize("k", [0, -3])
+    @pytest.mark.parametrize("k", [-1, -3])
     def test_bad_k(self, k):
         with pytest.raises(QueryError):
             valid_query(k=k)
+
+    def test_k_zero_is_legal(self):
+        # k=0 is a valid degenerate request (empty top-k); the serving
+        # layer must answer it, not 500 on it.
+        assert valid_query(k=0).k == 0
 
     @pytest.mark.parametrize("radius", [0.0, -0.1])
     def test_bad_radius(self, radius):

@@ -74,7 +74,7 @@ class TestHostileQueries:
 
     def test_malformed_queries_rejected_at_construction(self):
         with pytest.raises(QueryError):
-            PreferenceQuery(k=0, radius=0.1, lam=0.5, keyword_masks=(1,))
+            PreferenceQuery(k=-1, radius=0.1, lam=0.5, keyword_masks=(1,))
         with pytest.raises(QueryError):
             PreferenceQuery(k=1, radius=-1.0, lam=0.5, keyword_masks=(1,))
         with pytest.raises(QueryError):

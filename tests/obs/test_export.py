@@ -249,6 +249,53 @@ class TestMetricsServer:
         server.close()
         server.close()
 
+    def test_close_prompt_despite_half_open_client(self, reg):
+        """A connected client that never sends a request line must not
+        wedge close(): the listener shuts before the join and handler
+        threads are daemonic with a socket timeout, so close() returns
+        in well under the 5s join bound (it used to hang for as long as
+        the stalled client stayed connected)."""
+        import socket
+        import time
+
+        server = MetricsServer(reg, port=0).start()
+        stuck = socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        )
+        try:
+            time.sleep(0.05)  # let the server accept the connection
+            t0 = time.perf_counter()
+            server.close()
+            assert time.perf_counter() - t0 < 2.0
+        finally:
+            stuck.close()
+
+    def test_half_open_connection_times_out_server_side(self, reg):
+        """The handler socket timeout drains the stalled thread: after
+        ``timeout`` seconds the server closes the connection on its own
+        (the client sees EOF) even while the server keeps running."""
+        from repro.obs import export as export_mod
+
+        import socket
+        import time
+
+        original = export_mod._Handler.timeout
+        export_mod._Handler.timeout = 0.2
+        try:
+            with MetricsServer(reg, port=0) as server:
+                stuck = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=5
+                )
+                try:
+                    stuck.settimeout(5)
+                    t0 = time.perf_counter()
+                    assert stuck.recv(1) == b""  # server-side close
+                    assert time.perf_counter() - t0 < 3.0
+                finally:
+                    stuck.close()
+        finally:
+            export_mod._Handler.timeout = original
+
 
 class TestOpenMetrics:
     @pytest.fixture()
@@ -324,8 +371,10 @@ class TestTimeseriesEndpoints:
         assert doc["timeline"]
         assert set(doc["windows"]) == {"10", "60", "300"}
         assert doc["windows"]["60"]["rates"]["repro_queries_total"] >= 0
+        from repro.obs.slo import default_slos
+
         assert {v["slo"] for v in doc["slo"]["slos"]} == {
-            "query_latency_p95_100ms", "query_availability",
+            s.name for s in default_slos()
         }
 
     def test_dashboard_serves_html(self, served):

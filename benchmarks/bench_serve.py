@@ -32,6 +32,18 @@ the unique tail.
   ratio: down there the numbers measure scheduler jitter, not tenant
   interference.
 
+* **tracing** — an A/B overhead check of the tail-sampled request-trace
+  store (:mod:`repro.obs.requests`): paired off/on rounds of cache-hit
+  requests over one keep-alive connection with the store off vs. on
+  (default tail-sampling config: spans collected per request, the
+  1-in-N uniform sample exercising the record path), gated on the
+  median of per-round p50 ratios so scheduler bursts — which inflate
+  whole rounds, not sides — cancel; then one *slow-injected* request
+  — a never-seen key sent with a known client ``traceparent`` — whose
+  retention, keep reason and span tree (``serve.request`` →
+  ``serve.execute`` → ``executor.query``) are recorded for the CI
+  trace-smoke assertion.
+
 The perf sentinel (:mod:`repro.obs.regress`) gates ``serve-load``
 documents on ``sustained_qps`` (>= 100), ``cache_hit_rate`` (>= 0.5),
 and both ratios (>= 1.0) in floor mode, with the usual 0.55x ratio rule
@@ -52,6 +64,7 @@ import os
 import platform
 import random
 import socket
+import statistics
 import threading
 import time
 from pathlib import Path
@@ -61,12 +74,22 @@ from repro.core.processor import QueryProcessor
 from repro.core.query import Variant
 from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
 from repro.data.workload import WorkloadSpec, make_workload
+from repro.obs import requests as _requests
 from repro.serve.http import ServeServer
 from repro.serve.quota import QuotaSpec
 from repro.serve.service import QueryService, ServeConfig
 
 #: p99s below this are clamped before fairness ratios (jitter floor).
 P99_CLAMP_S = 0.005
+
+#: The slow-injected request's client-donated trace id (W3C form).
+INJECT_TRACE_ID = "feedfeedfeedfeedfeedfeedfeedfeed"
+
+#: Paired off/on rounds in the tracing A/B phase; each round measures
+#: both sides back to back so machine drift lands on both, and the
+#: gate takes the median of per-round ratios.  More rounds = stabler
+#: ratio (the phase is cheap: every request is a cache hit).
+AB_ROUNDS = 10
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -312,6 +335,144 @@ def drive(
     return stats, time.perf_counter() - t0
 
 
+def tracing_phase(port: int, pool: list[dict], args) -> dict:
+    """A/B trace-store overhead plus one slow-injected retained trace.
+
+    Runs against the live server over a single keep-alive connection.
+    Leaves the trace store disabled (its process-default state) when
+    done, whatever happens mid-phase.
+    """
+    entry = next(e for e in pool if e["algorithm"] == "stps")
+    body = dict(entry["body"])
+    body["tenant"] = "trace-ab"
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    conn.connect()
+    conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def once(payload: dict, headers: dict | None = None):
+        t0 = time.perf_counter()
+        conn.request(
+            "POST", "/query", body=json.dumps(payload),
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        resp = conn.getresponse()
+        doc = json.loads(resp.read() or b"{}")
+        return time.perf_counter() - t0, resp, doc
+
+    try:
+        once(body)  # warm the cache key and the connection
+        # Paired off/on rounds over the cache-hit path: the cheapest
+        # requests the service answers, hence the path where
+        # per-request tracing overhead is proportionally largest.
+        # "On" runs the store's default tail-sampling config — spans
+        # are collected for every request (the tail decision needs
+        # them) and the uniform 1-in-N sample exercising the record
+        # path — i.e. the overhead a deployment actually pays.  The
+        # gate statistic is the *median of per-round p50 ratios*: a
+        # scheduler burst inflates both sides of the round it lands
+        # in, and the median discards rounds it distorts anyway —
+        # essential on small shared machines.
+        off: list[float] = []
+        on: list[float] = []
+        round_ratios: list[float] = []
+        for _ in range(AB_ROUNDS):
+            round_p50 = {}
+            for traced in (False, True):
+                _requests.configure(
+                    enabled_=traced,
+                    max_bytes=_requests.DEFAULT_MAX_BYTES,
+                    slow_threshold_s=_requests.DEFAULT_SLOW_THRESHOLD_S,
+                    uniform_every=_requests.DEFAULT_UNIFORM_EVERY,
+                )
+                samples = []
+                for _ in range(args.trace_ab_requests):
+                    latency, _, _ = once(body)
+                    samples.append(latency)
+                round_p50[traced] = percentile(samples, 0.50)
+                (on if traced else off).extend(samples)
+            if round_p50[False] > 0:
+                round_ratios.append(round_p50[True] / round_p50[False])
+        off_p50 = percentile(off, 0.50)
+        on_p50 = percentile(on, 0.50)
+        overhead_ratio = (
+            statistics.median(round_ratios) if round_ratios else math.nan
+        )
+
+        # Slow injection: a never-seen key (unique lam → cache miss →
+        # real execution) sent with a known client traceparent.  With
+        # the store's threshold at 0 tail sampling must classify it
+        # "slow" and retain it with its full span tree.  One retry on a
+        # fresh connection absorbs a transient client-read timeout on a
+        # shared machine; the retry's key is already cached, but the
+        # first attempt's trace (the miss) is what the store retained.
+        _requests.configure(enabled_=True, slow_threshold_s=0.0)
+        _requests.clear()
+        inject = dict(entry["body"])
+        inject["tenant"] = "trace-slow"
+        inject["lam"] = 0.123456789
+        inject_headers = {
+            "traceparent": f"00-{INJECT_TRACE_ID}-00f067aa0ba902b7-01"
+        }
+        try:
+            _, resp, doc = once(inject, headers=inject_headers)
+        except (TimeoutError, OSError, http.client.HTTPException):
+            conn.close()
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=30
+            )
+            conn.connect()
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            # A fresh never-seen key: the first attempt may have
+            # finished server-side and cached its result, and the
+            # store returns the *newest* trace per id — the retry must
+            # be a miss too, or its hit-trace (no execute spans) would
+            # shadow the first attempt's complete tree.
+            inject["lam"] = 0.987654321
+            _, resp, doc = once(inject, headers=inject_headers)
+        echoed = _requests.parse_traceparent(
+            resp.headers.get("traceparent")
+        )
+        trace = _requests.get(INJECT_TRACE_ID)
+        span_names = sorted(
+            {s["name"] for s in trace.spans}
+        ) if trace is not None else []
+        complete_tree = {
+            "serve.request", "serve.execute", "executor.query",
+        } <= set(span_names)
+        store_stats = _requests.stats()
+    finally:
+        conn.close()
+        _requests.configure(
+            enabled_=False,
+            slow_threshold_s=_requests.DEFAULT_SLOW_THRESHOLD_S,
+        )
+        _requests.clear()
+
+    return {
+        "ab_requests_per_side_per_round": args.trace_ab_requests,
+        "ab_rounds": AB_ROUNDS,
+        "untraced_p50_ms": round(off_p50 * 1e3, 4),
+        "traced_p50_ms": round(on_p50 * 1e3, 4),
+        "overhead_ratio": round(overhead_ratio, 4),
+        "overhead_within_budget": bool(overhead_ratio <= 1.05),
+        "slow_injected": {
+            "trace_id": INJECT_TRACE_ID,
+            "status": resp.status,
+            "trace_id_echoed": bool(
+                echoed is not None and echoed[0] == INJECT_TRACE_ID
+            ),
+            "response_trace_id": doc.get("trace_id"),
+            "retained": trace is not None,
+            "keep_reason": trace.keep_reason if trace else None,
+            "span_names": span_names,
+            "complete_tree": complete_tree,
+        },
+        "store": store_stats,
+    }
+
+
 def bench(args) -> dict:
     objects = synthetic_objects(args.objects, seed=args.seed)
     feature_sets = synthetic_feature_sets(
@@ -415,6 +576,8 @@ def bench(args) -> dict:
             "victim_p99_ms": round(victim_p99 * 1e3, 3),
             "victim_isolation": round(isolation, 2),
         }
+        # --------------------------------------------------- tracing --
+        tracing_doc = tracing_phase(server.port, pool, args)
         serve_state = service.describe()
     finally:
         server.close()
@@ -442,6 +605,7 @@ def bench(args) -> dict:
         },
         "load": load_doc,
         "quota": quota_doc,
+        "tracing": tracing_doc,
         "cache": serve_state["cache"],
     }
 
@@ -470,6 +634,10 @@ def main(argv=None) -> int:
     parser.add_argument("--victim-pace-s", type=float, default=0.01)
     parser.add_argument("--abuser-clients", type=int, default=2)
     parser.add_argument("--abuser-rate", type=float, default=20.0)
+    parser.add_argument(
+        "--trace-ab-requests", type=int, default=50,
+        help="requests per side per round in the tracing-overhead phase",
+    )
     parser.add_argument("--slo", type=Path, default=Path("SLO.json"))
     args = parser.parse_args(argv)
     if args.smoke:
@@ -499,6 +667,15 @@ def main(argv=None) -> int:
         f"429s at {quota['abuser_rate_limit']:.0f} rps cap  victim p99 "
         f"{quota['victim_p99_ms']:.2f}ms vs solo {quota['solo_p99_ms']:.2f}ms "
         f"(isolation {quota['victim_isolation']:.2f}, >=1 passes)"
+    )
+    tracing = payload["tracing"]
+    injected = tracing["slow_injected"]
+    print(
+        f"  trace: overhead {tracing['overhead_ratio']:.3f}x "
+        f"(p50 {tracing['untraced_p50_ms']:.3f}ms -> "
+        f"{tracing['traced_p50_ms']:.3f}ms, <=1.05 passes)  "
+        f"slow-injected retained={injected['retained']} "
+        f"complete_tree={injected['complete_tree']}"
     )
     return 0
 

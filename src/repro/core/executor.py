@@ -398,9 +398,15 @@ class QueryExecutor:
         queue_wait_metric = QUEUE_WAIT_SECONDS.labels(algorithm=algorithm)
         # Trace ids are minted *here*, before submission, so a failed
         # execution's id is known even though the processor never got to
-        # return.  The worker closure re-enters the scope explicitly:
-        # ThreadPoolExecutor does not propagate contextvars to workers.
-        trace_ids = [_tracing.new_trace_id() for _ in to_run]
+        # return.  An ambient id (a served request entering through
+        # execute_one under trace_scope) is inherited instead of minted,
+        # so the HTTP-level trace and the engine-level spans join on one
+        # id.  The worker closure re-enters the scope — and the caller's
+        # per-request span sink — explicitly: ThreadPoolExecutor does
+        # not propagate contextvars to workers.
+        ambient = _tracing.current_trace_id()
+        trace_ids = [ambient or _tracing.new_trace_id() for _ in to_run]
+        sink = _tracing.current_sink()
 
         def run_one(
             query: PreferenceQuery, submitted: float, trace_id: str
@@ -410,7 +416,11 @@ class QueryExecutor:
                 self._queued -= 1
                 self._running += 1
             try:
-                with _tracing.trace_scope(trace_id):
+                with _tracing.trace_scope(trace_id), _tracing.sink_scope(
+                    sink
+                ), _tracing.span(
+                    "executor.query", cat="executor", algorithm=algorithm
+                ):
                     result = self.processor.query(
                         query,
                         algorithm=algorithm,

@@ -35,10 +35,14 @@ vs. CPU time, combinations examined, feature objects pulled (Section
   sampling profiler whose ring is retroactively captured (keyed by
   trace id) whenever the flight recorder admits a slow query; emits
   flamegraph.pl collapsed-stack output;
+* :mod:`repro.obs.requests` — W3C ``traceparent`` interop plus a
+  byte-bounded, tail-sampled store of served requests with their
+  admission-waterfall span trees (``/traces.json`` on the serving
+  endpoint);
 * ``python -m repro.obs`` — run a synthetic workload and emit a metrics
   snapshot plus a trace file (``--telemetry`` adds the full
-  operational layer); subcommands ``explain``, ``regress``, ``watch``
-  and ``slo`` (see :mod:`repro.obs.cli`).
+  operational layer); subcommands ``explain``, ``regress``, ``watch``,
+  ``trace`` and ``slo`` (see :mod:`repro.obs.cli`).
 
 Quick start::
 
@@ -63,6 +67,7 @@ from repro.obs import (
     flight,
     metrics,
     profiler,
+    requests,
     resources,
     slo,
     slog,
@@ -83,6 +88,11 @@ from repro.obs.export import (
     write_json,
 )
 from repro.obs.profiler import SamplingProfiler
+from repro.obs.requests import (
+    format_traceparent,
+    parse_traceparent,
+    render_trace_tree,
+)
 from repro.obs.resources import ResourceSampler
 from repro.obs.slo import (
     AvailabilitySLO,
@@ -102,6 +112,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import (
     PhaseRecorder,
+    SpanCollector,
     chrome_trace,
     current_trace_id,
     enabled_tracing,
@@ -109,6 +120,7 @@ from repro.obs.tracing import (
     recorder,
     set_enabled,
     span,
+    span_sink,
     trace,
     trace_scope,
     write_chrome_trace,
@@ -130,6 +142,7 @@ __all__ = [
     "ResourceSampler",
     "Sampler",
     "SamplingProfiler",
+    "SpanCollector",
     "TimeSeriesRing",
     "chrome_trace",
     "default_slos",
@@ -140,14 +153,18 @@ __all__ = [
     "explain",
     "export",
     "flight",
+    "format_traceparent",
     "log_buckets",
     "metrics",
     "new_trace_id",
+    "parse_traceparent",
     "profiler",
     "recorder",
     "registry",
     "render_openmetrics",
     "render_prometheus",
+    "render_trace_tree",
+    "requests",
     "resources",
     "scoped_registry",
     "set_enabled",
@@ -155,6 +172,7 @@ __all__ = [
     "slog",
     "snapshot",
     "span",
+    "span_sink",
     "timeseries",
     "timeseries_payload",
     "trace",

@@ -39,6 +39,10 @@ Subcommands ride alongside the workload runner:
   :mod:`repro.obs.regress`);
 * ``python -m repro.obs watch`` — live terminal view polling a running
   server's ``/timeseries.json``;
+* ``python -m repro.obs trace [<id>]`` — list the tail-sampled request
+  trace store (in-process, ``--url`` against a running server's
+  ``/traces.json``, or a ``--file`` JSONL dump) or print one trace's
+  span tree;
 * ``python -m repro.obs slo`` — run a workload and evaluate committed
   SLO definitions against it; exits non-zero on an exhausted error
   budget (or a firing burn-rate alert with ``--fail-on any``).
@@ -290,6 +294,118 @@ def run_watch(args) -> int:
         return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs trace",
+        description="Inspect stored request traces: list the tail-"
+                    "sampled store, or print one trace's span tree.",
+    )
+    parser.add_argument("trace_id", nargs="?", default=None,
+                        help="trace id to print (16- or 32-hex; omit to "
+                             "list stored traces)")
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running server exposing "
+                             "/traces.json, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--file", type=Path, default=None,
+                        help="read traces from a JSONL dump instead of "
+                             "a server (repro.obs.requests.dump_jsonl)")
+    parser.add_argument("--tenant", default=None,
+                        help="only traces of this tenant")
+    parser.add_argument("--min-ms", type=float, default=None,
+                        help="only traces at least this slow")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw JSON instead of rendered output")
+    return parser
+
+
+def _fetch_traces(args) -> list[dict]:
+    """Stored traces from --url, --file, or the in-process store."""
+    from repro.obs import requests as requests_mod
+
+    if args.url is not None:
+        import urllib.parse
+        import urllib.request
+
+        params = {}
+        if args.trace_id:
+            params["trace_id"] = args.trace_id
+        if args.tenant:
+            params["tenant"] = args.tenant
+        if args.min_ms is not None:
+            params["min_ms"] = args.min_ms
+        url = args.url.rstrip("/") + "/traces.json"
+        if params:
+            url += "?" + urllib.parse.urlencode(params)
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return json.load(resp).get("traces", [])
+    if args.file is not None:
+        traces = [
+            json.loads(line)
+            for line in args.file.read_text().splitlines()
+            if line.strip()
+        ]
+    else:
+        traces = requests_mod.query_traces(limit=10_000)
+    wanted = (
+        requests_mod.w3c_trace_id(args.trace_id) if args.trace_id else None
+    )
+    out = []
+    for trace in traces:
+        if wanted is not None and requests_mod.w3c_trace_id(
+            trace.get("trace_id", "")
+        ) != wanted:
+            continue
+        if args.tenant is not None and trace.get("tenant") != args.tenant:
+            continue
+        if (
+            args.min_ms is not None
+            and trace.get("duration_s", 0.0) * 1e3 < args.min_ms
+        ):
+            continue
+        out.append(trace)
+    return out
+
+
+def run_trace(args) -> int:
+    """``python -m repro.obs trace [<id>]`` — tree view / listing."""
+    import sys
+    import urllib.error
+
+    from repro.obs import requests as requests_mod
+
+    try:
+        traces = _fetch_traces(args)
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"trace: cannot fetch traces: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(traces, indent=2))
+        return 0 if traces else 1
+    if args.trace_id is not None:
+        if not traces:
+            print(f"trace: no stored trace {args.trace_id!r}",
+                  file=sys.stderr)
+            return 1
+        for trace in traces:
+            print(requests_mod.render_trace_tree(trace), end="")
+        return 0
+    if not traces:
+        print("trace: store is empty (is repro.obs.requests enabled?)")
+        return 0
+    print(f"  {'trace_id':<32}  {'tenant':<12}  {'outcome':<12}  "
+          f"{'status':>6}  {'ms':>9}  kept")
+    for trace in traces:
+        print(
+            f"  {trace.get('trace_id', '?'):<32}  "
+            f"{trace.get('tenant', '?'):<12}  "
+            f"{trace.get('outcome', '?'):<12}  "
+            f"{trace.get('status', 0):>6}  "
+            f"{trace.get('duration_s', 0.0) * 1e3:>9.2f}  "
+            f"{trace.get('keep_reason', '?')}"
+        )
+    return 0
+
+
 def build_slo_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs slo",
@@ -471,6 +587,8 @@ def main(argv=None) -> int:
         return regress.main(argv[1:])
     if argv and argv[0] == "watch":
         return run_watch(build_watch_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "trace":
+        return run_trace(build_trace_parser().parse_args(argv[1:]))
     if argv and argv[0] == "slo":
         return run_slo(build_slo_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)

@@ -37,9 +37,11 @@ import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs
 
 from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
+from repro.obs import requests as _requests
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 logger = logging.getLogger(__name__)
@@ -279,6 +281,28 @@ def timeseries_payload(
         from repro.obs.slo import evaluate_slos
 
         payload["slo"] = evaluate_slos(list(slos), ring)
+    tenants = ring.label_values("repro_serve_tenant_seconds", "tenant")
+    if tenants:
+        from repro.obs.slo import evaluate_tenant_slos
+
+        verdicts = evaluate_tenant_slos(ring, slos=slos)
+        payload["tenants"] = {
+            tenant: {
+                "rate_60s": ring.rate(
+                    "repro_serve_requests_total", 60.0, {"tenant": tenant}
+                ),
+                "p95_s": ring.window_quantile(
+                    "repro_serve_tenant_seconds", 0.95, 60.0,
+                    {"tenant": tenant},
+                ),
+                "p99_s": ring.window_quantile(
+                    "repro_serve_tenant_seconds", 0.99, 60.0,
+                    {"tenant": tenant},
+                ),
+                "slo": verdicts.get(tenant),
+            }
+            for tenant in tenants
+        }
     return payload
 
 
@@ -335,6 +359,8 @@ DASHBOARD_HTML = """<!DOCTYPE html>
     <div class="cards" id="slo"></div></div>
   <div class="panel"><h2>Resources</h2>
     <table id="res"></table><canvas id="c_rss"></canvas></div>
+  <div class="panel"><h2>Tenants (60 s)</h2>
+    <table id="tenants"></table></div>
 </div>
 <script>
 "use strict";
@@ -426,6 +452,25 @@ async function tick() {
   const rss = tl.map(s =>
     ((s.gauges || {})["repro_resource_rss_bytes"] || 0) / (1 << 20));
   line(document.getElementById("c_rss"), [rss], ["#4fc3f7"]);
+  const tenants = d.tenants || {};
+  const names = Object.keys(tenants).sort();
+  document.getElementById("tenants").innerHTML =
+    names.length === 0
+      ? `<tr><td class="k">no tenant traffic in window</td></tr>`
+      : `<tr><td class="k">tenant</td><td class="k">qps</td>` +
+        `<td class="k">p95 ms</td><td class="k">p99 ms</td>` +
+        `<td class="k">slo</td></tr>` +
+        names.map(n => {
+          const t = tenants[n];
+          const v = t.slo || {};
+          const cls = v.firing ? "firing" : "okay";
+          const state = v.firing ? "FIRING"
+            : (v.error_budget || {}).exhausted ? "EXHAUSTED" : "ok";
+          return `<tr><td>${n}</td><td>${fmt(t.rate_60s, 2)}</td>` +
+            `<td>${fmt((t.p95_s || 0) * 1e3)}</td>` +
+            `<td>${fmt((t.p99_s || 0) * 1e3)}</td>` +
+            `<td class="${cls}">${state}</td></tr>`;
+        }).join("");
 }
 tick();
 setInterval(tick, 2000);
@@ -482,6 +527,24 @@ class _Handler(BaseHTTPRequestHandler):
                 "stats": _flight.stats(),
                 "records": [r.to_dict() for r in _flight.records()],
             }
+            body = (json.dumps(payload) + "\n").encode()
+            content_type = "application/json"
+        elif path == "/traces.json":
+            query = parse_qs(
+                self.path.partition("?")[2], keep_blank_values=False
+            )
+            min_ms = None
+            if "min_ms" in query:
+                try:
+                    min_ms = float(query["min_ms"][-1])
+                except ValueError:
+                    self.send_error(400, "min_ms must be a number")
+                    return
+            payload = _requests.payload(
+                trace_id=query.get("trace_id", [None])[-1],
+                tenant=query.get("tenant", [None])[-1],
+                min_ms=min_ms,
+            )
             body = (json.dumps(payload) + "\n").encode()
             content_type = "application/json"
         elif path == "/flamegraph.txt":

@@ -96,6 +96,11 @@ class QueryRecord:
     error: dict | None = None
     #: Shard that produced the failure, when attributable.
     shard_id: int | None = None
+    #: Tenant whose request produced this record (serve-layer records).
+    tenant: str | None = None
+    #: Admission decision for serve-layer rejections (quota /
+    #: backpressure), else None.
+    decision: str | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -115,6 +120,10 @@ class QueryRecord:
             out["error"] = self.error
         if self.shard_id is not None:
             out["shard_id"] = self.shard_id
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        if self.decision is not None:
+            out["decision"] = self.decision
         return out
 
     @classmethod
@@ -133,6 +142,8 @@ class QueryRecord:
             plan_summary=data.get("plan_summary"),
             error=data.get("error"),
             shard_id=data.get("shard_id"),
+            tenant=data.get("tenant"),
+            decision=data.get("decision"),
         )
 
 
@@ -305,6 +316,40 @@ def record_error(
             latency_s=latency_s,
             error={"type": type(error).__name__, "message": str(error)},
             shard_id=shard_id,
+        )
+    )
+    return True
+
+
+def record_rejection(
+    query,
+    algorithm: str,
+    pulling: str,
+    trace_id: str,
+    latency_s: float,
+    tenant: str | None = None,
+    decision: str | None = None,
+) -> bool:
+    """Record a serve-layer admission rejection (quota / backpressure).
+
+    A shed request is diagnostic gold — it is exactly the traffic an
+    operator gets paged about — so rejections bypass the latency
+    threshold like errors do, carrying the tenant and the gate that
+    rejected them.
+    """
+    if not enabled:
+        return False
+    _push(
+        QueryRecord(
+            trace_id=trace_id,
+            ts=time.time(),
+            algorithm=algorithm,
+            variant=query.variant.value,
+            pulling=pulling,
+            query=_query_args(query),
+            latency_s=latency_s,
+            tenant=tenant,
+            decision=decision,
         )
     )
     return True

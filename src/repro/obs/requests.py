@@ -1,0 +1,605 @@
+"""Request-level tracing: W3C ``traceparent`` + a tail-sampled trace store.
+
+The serving layer (:mod:`repro.serve`) turns the engine into an online
+multi-tenant service; this module gives every *request* — including the
+ones that never reach the executor (quota 429s, cache hits, shed load) —
+a durable, queryable trace:
+
+* :func:`parse_traceparent` / :func:`format_traceparent` — W3C Trace
+  Context interop.  A client-supplied ``traceparent`` header donates its
+  128-bit trace id, which then joins the span tracer, flight recorder,
+  histogram exemplars and structured logs exactly like an internally
+  minted id (trace ids are opaque hex strings everywhere in the stack);
+  the response carries a fresh ``traceparent`` naming the same trace.
+* :class:`RequestTrace` + the module-level **trace store** — a bounded
+  in-memory buffer of finished requests with their admission-waterfall
+  span trees (``serve.quota`` → ``serve.cache`` → ``serve.backpressure``
+  → ``serve.execute`` → engine phases), captured per-request through a
+  :class:`~repro.obs.tracing.SpanCollector` even while global Chrome
+  tracing is off.
+* **Tail-based sampling** — the keep/drop decision happens when the
+  request *finishes*, when its outcome is known: errors (4xx/5xx),
+  shed requests (429) and requests slower than the SLO threshold are
+  always kept; the boring bulk is represented by a deterministic
+  1-in-N uniform sample.  The store is byte-bounded; when over budget
+  it evicts oldest *uniform* entries first and touches interesting
+  entries only when nothing boring is left.
+* ``/traces.json?trace_id=…&tenant=…&min_ms=…`` (served by
+  :mod:`repro.obs.export`) and ``python -m repro.obs trace <id>``
+  (:func:`render_trace_tree`) are the query paths.
+
+Like the flight recorder, the store is process-wide, thread-safe,
+disabled by default (one flag check per request when off) and never
+raises into the serving path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default byte budget for buffered traces (estimated JSON size).
+DEFAULT_MAX_BYTES = 2 * 1024 * 1024
+
+#: Requests at or over this duration are kept as "slow" (tail sampling).
+#: Matches the committed serving latency SLO threshold (``SLO.json``).
+DEFAULT_SLOW_THRESHOLD_S = 0.1
+
+#: Keep one in this many boring requests as the uniform sample.
+DEFAULT_UNIFORM_EVERY = 20
+
+#: Per-trace span ceiling; a runaway span producer must not let one
+#: request dominate the store.
+MAX_SPANS_PER_TRACE = 512
+
+#: Module flag, read once per request.  Mutate only via :func:`configure`.
+enabled = False
+
+_lock = threading.Lock()
+_traces: list["RequestTrace"] = []
+_bytes = 0
+_max_bytes = DEFAULT_MAX_BYTES
+_slow_threshold_s = DEFAULT_SLOW_THRESHOLD_S
+_uniform_every = DEFAULT_UNIFORM_EVERY
+_seen = 0
+_dropped = 0
+_evicted_uniform = 0
+_evicted_interesting = 0
+_kept_by_reason: dict[str, int] = {}
+
+
+# ----------------------------------------------------------------------
+# W3C Trace Context (traceparent)
+# ----------------------------------------------------------------------
+_HEX = frozenset("0123456789abcdef")
+
+
+def _is_hex(value: str) -> bool:
+    # The W3C spec mandates lowercase hex; uppercase is invalid on the
+    # wire, so an uppercase header falls back to a fresh internal id.
+    return bool(value) and all(c in _HEX for c in value)
+
+
+def parse_traceparent(header: str | None) -> tuple[str, str] | None:
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` header.
+
+    Returns None for anything invalid per W3C Trace Context level 1:
+    wrong field count or width, non-(lowercase-)hex characters, the
+    all-zero trace or parent id, and the forbidden version ``ff``.
+    Unknown future versions are accepted when their first four fields
+    parse (the spec's forward-compatibility rule); version ``00`` must
+    have exactly four fields.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[:4]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id):
+        return None
+    if trace_id == "0" * 32:
+        return None
+    if len(parent_id) != 16 or not _is_hex(parent_id):
+        return None
+    if parent_id == "0" * 16:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    return trace_id, parent_id
+
+
+def w3c_trace_id(trace_id: str) -> str:
+    """``trace_id`` widened to the 32-hex W3C form.
+
+    Internally minted ids are 16 hex chars; zero-padding on the left
+    yields a stable, reversible 128-bit form.  Ids already 32 wide
+    (client-donated) pass through unchanged.
+    """
+    tid = trace_id.lower()
+    if len(tid) < 32:
+        tid = tid.rjust(32, "0")
+    return tid[:32]
+
+
+def format_traceparent(
+    trace_id: str, span_id: str | None = None, flags: int = 0x01
+) -> str:
+    """A response ``traceparent`` naming ``trace_id``.
+
+    The parent-id field carries a fresh span id (this service is the
+    caller's child span); flags default to ``01`` (sampled) because a
+    request that reached us was, by definition, traced here.
+    """
+    if span_id is None:
+        span_id = uuid.uuid4().hex[:16]
+    return f"00-{w3c_trace_id(trace_id)}-{span_id}-{flags:02x}"
+
+
+# ----------------------------------------------------------------------
+# the trace store
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RequestTrace:
+    """One finished serving request with its span tree."""
+
+    trace_id: str
+    #: Unix timestamp of request completion.
+    ts: float
+    tenant: str
+    #: Terminal outcome: ok / cached / quota / backpressure /
+    #: bad_request / error.
+    outcome: str
+    status: int
+    duration_s: float
+    algorithm: str = ""
+    pulling: str = ""
+    #: Query arguments (None for requests rejected before parsing).
+    query: dict | None = None
+    #: Chrome-trace-shaped span events collected for this request.
+    spans: list = field(default_factory=list)
+    #: Why tail sampling kept this trace: error / shed / slow / uniform.
+    keep_reason: str = ""
+    #: Rejection/error detail, when any.
+    reason: str = ""
+    #: Estimated serialized size (store accounting).
+    approx_bytes: int = 0
+
+    def to_dict(self) -> dict:
+        out = {
+            "trace_id": self.trace_id,
+            "ts": self.ts,
+            "tenant": self.tenant,
+            "outcome": self.outcome,
+            "status": self.status,
+            "duration_s": self.duration_s,
+            "keep_reason": self.keep_reason,
+            "spans": self.spans,
+        }
+        if self.algorithm:
+            out["algorithm"] = self.algorithm
+        if self.pulling:
+            out["pulling"] = self.pulling
+        if self.query is not None:
+            out["query"] = self.query
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestTrace":
+        return cls(
+            trace_id=data.get("trace_id", ""),
+            ts=data.get("ts", 0.0),
+            tenant=data.get("tenant", ""),
+            outcome=data.get("outcome", ""),
+            status=int(data.get("status", 0)),
+            duration_s=data.get("duration_s", 0.0),
+            algorithm=data.get("algorithm", ""),
+            pulling=data.get("pulling", ""),
+            query=data.get("query"),
+            spans=list(data.get("spans", [])),
+            keep_reason=data.get("keep_reason", ""),
+            reason=data.get("reason", ""),
+        )
+
+
+def configure(
+    enabled_: bool | None = None,
+    max_bytes: int | None = None,
+    slow_threshold_s: float | None = None,
+    uniform_every: int | None = None,
+) -> None:
+    """(Re)configure the store.
+
+    ``max_bytes`` bounds the buffered traces' estimated JSON size;
+    ``slow_threshold_s`` is the tail-sampling latency cut
+    (0.0 marks every request slow — i.e. keep everything);
+    ``uniform_every`` keeps one in N boring requests (0 disables the
+    uniform sample entirely).
+    """
+    global enabled, _max_bytes, _slow_threshold_s, _uniform_every
+    with _lock:
+        if max_bytes is not None:
+            if max_bytes < 1:
+                raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+            _max_bytes = int(max_bytes)
+        if slow_threshold_s is not None:
+            _slow_threshold_s = max(0.0, float(slow_threshold_s))
+        if uniform_every is not None:
+            if uniform_every < 0:
+                raise ValueError(
+                    f"uniform_every must be >= 0, got {uniform_every}"
+                )
+            _uniform_every = int(uniform_every)
+    if enabled_ is not None:
+        enabled = bool(enabled_)
+    if enabled_:
+        _evict_locked_entry()
+
+
+def _evict_locked_entry() -> None:
+    with _lock:
+        _evict()
+
+
+def slow_threshold() -> float:
+    return _slow_threshold_s
+
+
+def _keep_reason(status: int, outcome: str, duration_s: float) -> str | None:
+    """Tail-sampling verdict; None means drop."""
+    global _seen
+    if status == 429:
+        return "shed"
+    if status >= 400 or outcome == "error":
+        return "error"
+    if duration_s >= _slow_threshold_s:
+        return "slow"
+    if _uniform_every > 0 and _seen % _uniform_every == 0:
+        return "uniform"
+    return None
+
+
+def _trim_spans(spans) -> list:
+    """Copy span events, keeping only the renderable fields.
+
+    Over the per-trace cap, the *longest* spans survive: complete
+    events are appended at close time, so the enclosing request / gate /
+    executor spans land at the very end of the stream — a head
+    truncation would drop exactly the tree's trunk and keep only micro
+    leaf phases.  Duration is the shape-preserving criterion; original
+    order is kept among the survivors.
+    """
+    events = list(spans)
+    if len(events) > MAX_SPANS_PER_TRACE:
+        keep = sorted(
+            range(len(events)),
+            key=lambda i: events[i].get("dur", 0.0),
+            reverse=True,
+        )[:MAX_SPANS_PER_TRACE]
+        events = [events[i] for i in sorted(keep)]
+    out = []
+    for event in events:
+        trimmed = {
+            "name": event.get("name", ""),
+            "ts": event.get("ts", 0.0),
+            "dur": event.get("dur", 0.0),
+        }
+        if event.get("cat"):
+            trimmed["cat"] = event["cat"]
+        if event.get("pid") is not None:
+            trimmed["pid"] = event["pid"]
+        if event.get("tid") is not None:
+            trimmed["tid"] = event["tid"]
+        args = event.get("args")
+        if args:
+            # Coerce exotic arg values here so every stored trace is
+            # JSON-serializable by construction (/traces.json, JSONL).
+            trimmed["args"] = {
+                k: (v if isinstance(v, (str, int, float, bool)) or v is None
+                    else repr(v))
+                for k, v in args.items() if k != "trace_id"
+            }
+        out.append(trimmed)
+    return out
+
+
+#: Rough serialized overhead of one trimmed span / one whole trace
+#: (braces, keys, numeric fields) for the byte-budget accounting.
+_SPAN_BASE_BYTES = 96
+_TRACE_BASE_BYTES = 200
+
+
+def _estimate_bytes(trace: RequestTrace) -> int:
+    """Cheap structural size estimate (no serialization on the hot path).
+
+    The store's byte bound is enforced against this estimate, so it only
+    needs to be self-consistent and roughly proportional to the real
+    JSON size — a ``json.dumps`` here would dominate the whole record
+    path for span-heavy traces.
+    """
+    size = (
+        _TRACE_BASE_BYTES
+        + len(trace.trace_id) + len(trace.tenant) + len(trace.outcome)
+        + len(trace.algorithm) + len(trace.pulling) + len(trace.reason)
+    )
+    if trace.query:
+        size += 32 + 16 * len(trace.query)
+    for event in trace.spans:
+        size += _SPAN_BASE_BYTES + len(event.get("name", ""))
+        args = event.get("args")
+        if args:
+            for key, value in args.items():
+                size += len(key) + len(str(value)) + 8
+    return size
+
+
+def _evict() -> None:
+    """Shed oldest *uniform* traces first; interesting ones only when
+    nothing boring is left.  Caller holds the lock."""
+    global _bytes, _evicted_uniform, _evicted_interesting
+    while _bytes > _max_bytes and _traces:
+        victim_idx = None
+        for i, trace in enumerate(_traces):
+            if trace.keep_reason == "uniform":
+                victim_idx = i
+                break
+        if victim_idx is None:
+            victim_idx = 0
+            _evicted_interesting += 1
+        else:
+            _evicted_uniform += 1
+        victim = _traces.pop(victim_idx)
+        _bytes -= victim.approx_bytes
+
+
+def record(
+    trace_id: str,
+    tenant: str,
+    outcome: str,
+    status: int,
+    duration_s: float,
+    algorithm: str = "",
+    pulling: str = "",
+    query=None,
+    spans=None,
+    reason: str = "",
+) -> bool:
+    """Admit one finished request; returns whether it was kept.
+
+    The tail-sampling decision happens here — after the outcome is
+    known.  ``query`` and ``spans`` may be zero-argument callables,
+    resolved only when the request is kept — callers on the serving
+    hot path use this to defer materializing span/query dicts for the
+    dropped majority.  Never raises into the serving path.
+    """
+    global _seen, _dropped, _bytes
+    if not enabled:
+        return False
+    with _lock:
+        keep = _keep_reason(status, outcome, duration_s)
+        _seen += 1
+        if keep is None:
+            _dropped += 1
+            return False
+        if callable(query):
+            query = query()
+        if callable(spans):
+            spans = spans()
+        trace = RequestTrace(
+            trace_id=trace_id,
+            ts=time.time(),
+            tenant=tenant,
+            outcome=outcome,
+            status=status,
+            duration_s=duration_s,
+            algorithm=algorithm,
+            pulling=pulling,
+            query=dict(query) if query else None,
+            spans=_trim_spans(list(spans)) if spans else [],
+            keep_reason=keep,
+            reason=reason,
+        )
+        trace.approx_bytes = _estimate_bytes(trace)
+        _traces.append(trace)
+        _bytes += trace.approx_bytes
+        _kept_by_reason[keep] = _kept_by_reason.get(keep, 0) + 1
+        _evict()
+    return True
+
+
+def get(trace_id: str) -> RequestTrace | None:
+    """The newest stored trace with this id (16-hex suffixes match)."""
+    wanted = trace_id.lower()
+    with _lock:
+        for trace in reversed(_traces):
+            stored = trace.trace_id.lower()
+            if stored == wanted or w3c_trace_id(stored) == w3c_trace_id(
+                wanted
+            ):
+                return trace
+    return None
+
+
+def query_traces(
+    trace_id: str | None = None,
+    tenant: str | None = None,
+    min_ms: float | None = None,
+    limit: int = 100,
+) -> list[dict]:
+    """Stored traces matching every given filter, newest first."""
+    with _lock:
+        traces = list(_traces)
+    out = []
+    wanted = w3c_trace_id(trace_id) if trace_id else None
+    for trace in reversed(traces):
+        if wanted is not None and w3c_trace_id(trace.trace_id) != wanted:
+            continue
+        if tenant is not None and trace.tenant != tenant:
+            continue
+        if min_ms is not None and trace.duration_s * 1e3 < min_ms:
+            continue
+        out.append(trace.to_dict())
+        if len(out) >= limit:
+            break
+    return out
+
+
+def stats() -> dict:
+    """Store bookkeeping: sampling and eviction accounting."""
+    with _lock:
+        return {
+            "enabled": enabled,
+            "buffered": len(_traces),
+            "bytes": _bytes,
+            "max_bytes": _max_bytes,
+            "seen": _seen,
+            "kept": sum(_kept_by_reason.values()),
+            "kept_by_reason": dict(_kept_by_reason),
+            "dropped": _dropped,
+            "evicted_uniform": _evicted_uniform,
+            "evicted_interesting": _evicted_interesting,
+            "slow_threshold_s": _slow_threshold_s,
+            "uniform_every": _uniform_every,
+        }
+
+
+def payload(
+    trace_id: str | None = None,
+    tenant: str | None = None,
+    min_ms: float | None = None,
+    limit: int = 100,
+) -> dict:
+    """The ``/traces.json`` document."""
+    return {
+        "stats": stats(),
+        "traces": query_traces(
+            trace_id=trace_id, tenant=tenant, min_ms=min_ms, limit=limit
+        ),
+    }
+
+
+def dump_jsonl(path) -> Path:
+    """Write the stored traces to ``path``, one JSON object per line."""
+    path = Path(path)
+    with _lock:
+        traces = list(_traces)
+    with path.open("w") as fh:
+        for trace in traces:
+            fh.write(json.dumps(trace.to_dict()) + "\n")
+    return path
+
+
+def clear() -> int:
+    """Drop every stored trace and reset the sampling counters."""
+    global _bytes, _seen, _dropped, _evicted_uniform
+    global _evicted_interesting
+    with _lock:
+        n = len(_traces)
+        _traces.clear()
+        _bytes = 0
+        _seen = 0
+        _dropped = 0
+        _evicted_uniform = 0
+        _evicted_interesting = 0
+        _kept_by_reason.clear()
+    return n
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _span_children(spans: list) -> list[tuple[dict, int]]:
+    """(span, depth) rows via timestamp containment.
+
+    Spans arrive as Chrome complete events; a span is a child of the
+    innermost earlier span whose [ts, ts+dur] interval contains it.
+    Events from other processes were rebased onto the parent timeline
+    at ingest, so containment works across the process boundary too.
+    """
+    ordered = sorted(
+        spans, key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0))
+    )
+    rows: list[tuple[dict, int]] = []
+    stack: list[dict] = []
+    for event in ordered:
+        t0 = event.get("ts", 0.0)
+        t1 = t0 + event.get("dur", 0.0)
+        while stack:
+            top = stack[-1]
+            top_end = top.get("ts", 0.0) + top.get("dur", 0.0)
+            # Epsilon: a child ending on its parent's boundary stays
+            # nested (perf_counter stamps of nested exits often tie).
+            if t0 >= top.get("ts", 0.0) - 1e-9 and t1 <= top_end + 1e-9:
+                break
+            stack.pop()
+        rows.append((event, len(stack)))
+        stack.append(event)
+    return rows
+
+
+def render_trace_tree(trace: dict) -> str:
+    """One stored trace as an indented span tree (pure function).
+
+    ``trace`` is a :meth:`RequestTrace.to_dict` document — from the
+    in-process store, ``/traces.json``, or a JSONL dump.
+    """
+    header = (
+        f"trace {trace.get('trace_id', '?')}  "
+        f"tenant={trace.get('tenant', '?')}  "
+        f"outcome={trace.get('outcome', '?')}  "
+        f"status={trace.get('status', '?')}  "
+        f"{trace.get('duration_s', 0.0) * 1e3:.2f}ms  "
+        f"kept={trace.get('keep_reason', '?')}"
+    )
+    lines = [header]
+    if trace.get("reason"):
+        lines.append(f"  reason: {trace['reason']}")
+    spans = trace.get("spans") or []
+    if not spans:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines) + "\n"
+    for event, depth in _span_children(spans):
+        dur_ms = event.get("dur", 0.0) / 1e3
+        args = event.get("args") or {}
+        detail = " ".join(
+            f"{k}={v}" for k, v in sorted(args.items())
+        )
+        pid = event.get("pid")
+        pid_note = f" [pid {pid}]" if pid is not None and depth == 0 else ""
+        lines.append(
+            "  " + "  " * depth
+            + f"- {event.get('name', '?')}  {dur_ms:.3f}ms"
+            + (f"  {detail}" if detail else "")
+            + pid_note
+        )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_SLOW_THRESHOLD_S",
+    "DEFAULT_UNIFORM_EVERY",
+    "RequestTrace",
+    "clear",
+    "configure",
+    "dump_jsonl",
+    "format_traceparent",
+    "get",
+    "parse_traceparent",
+    "payload",
+    "query_traces",
+    "record",
+    "render_trace_tree",
+    "stats",
+    "w3c_trace_id",
+]

@@ -53,6 +53,9 @@ GAUGES = (
     "repro_resource_executor_running",
     "repro_resource_threads",
     "repro_resource_child_processes",
+    "repro_resource_serve_cache_entries",
+    "repro_resource_serve_cache_bytes",
+    "repro_resource_serve_tenants",
 )
 
 
@@ -79,6 +82,7 @@ def collect(reg: "_metrics.MetricsRegistry | None" = None) -> dict:
     rss, vm = _read_statm()
 
     from repro.core import executor as _executor
+    from repro.serve import service as _serve
     from repro.storage import buffer as _buffer
     from repro.storage import node_cache as _node_cache
     from repro.storage import shm as _shm
@@ -87,6 +91,7 @@ def collect(reg: "_metrics.MetricsRegistry | None" = None) -> dict:
     caches = _node_cache.live_caches()
     pools = _buffer.live_pools()
     executors = _executor.live_executors()
+    services = _serve.live_services()
 
     values = {
         "repro_resource_rss_bytes": rss,
@@ -111,6 +116,15 @@ def collect(reg: "_metrics.MetricsRegistry | None" = None) -> dict:
         "repro_resource_threads": threading.active_count(),
         "repro_resource_child_processes": len(
             multiprocessing.active_children()
+        ),
+        "repro_resource_serve_cache_entries": sum(
+            len(s.cache) for s in services
+        ),
+        "repro_resource_serve_cache_bytes": sum(
+            s.cache.estimated_bytes() for s in services
+        ),
+        "repro_resource_serve_tenants": sum(
+            s.quotas.tenant_count() for s in services
         ),
     }
     for name, value in values.items():
@@ -140,6 +154,12 @@ _HELP = {
         "Queries currently executing, all executors.",
     "repro_resource_threads": "Live Python threads.",
     "repro_resource_child_processes": "Live multiprocessing children.",
+    "repro_resource_serve_cache_entries":
+        "Entries across live serving result caches.",
+    "repro_resource_serve_cache_bytes":
+        "Estimated bytes retained by serving result caches.",
+    "repro_resource_serve_tenants":
+        "Tenants with live quota buckets, all services.",
 }
 
 

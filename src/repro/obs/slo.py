@@ -386,3 +386,67 @@ def evaluate_slos(
         ),
         "ok": all(v["ok"] for v in verdicts),
     }
+
+
+def serve_tenant_template(slos: list[SLO] | None = None) -> LatencySLO:
+    """The per-tenant latency SLO shape, derived from the committed one.
+
+    Objective / threshold / window / alerts come from the serving-path
+    latency SLO (metric ``repro_serve_request_seconds``) when one is
+    present in ``slos``, so the fleet-wide commitment and the per-tenant
+    breakdown never drift apart; the target metric is the tenant-labeled
+    ``repro_serve_tenant_seconds`` histogram.
+    """
+    base = None
+    for candidate in slos or ():
+        if (
+            isinstance(candidate, LatencySLO)
+            and candidate.metric == "repro_serve_request_seconds"
+        ):
+            base = candidate
+            break
+    if base is None:
+        return LatencySLO(
+            name="serve_tenant_latency",
+            objective=0.99,
+            metric="repro_serve_tenant_seconds",
+            threshold_s=0.1,
+            description="Per-tenant serving latency objective.",
+        )
+    return LatencySLO(
+        name=f"{base.name}_by_tenant",
+        objective=base.objective,
+        metric="repro_serve_tenant_seconds",
+        threshold_s=base.threshold_s,
+        description=f"Per-tenant breakdown of {base.name}.",
+        window_s=base.window_s,
+        alerts=base.alerts,
+    )
+
+
+def evaluate_tenant_slos(
+    ring: TimeSeriesRing,
+    slos: list[SLO] | None = None,
+    label: str = "tenant",
+) -> dict:
+    """Per-tenant latency SLO verdicts, keyed by tenant label value.
+
+    Tenants are discovered from the ring itself (every label value the
+    tenant-latency histogram has taken inside the ring's horizon), so
+    an idle tenant ages out together with its samples.
+    """
+    template = serve_tenant_template(slos)
+    verdicts: dict[str, dict] = {}
+    for tenant in ring.label_values(template.metric, label):
+        scoped = LatencySLO(
+            name=f"{template.name}[{tenant}]",
+            objective=template.objective,
+            metric=template.metric,
+            threshold_s=template.threshold_s,
+            labels={label: tenant},
+            description=template.description,
+            window_s=template.window_s,
+            alerts=template.alerts,
+        )
+        verdicts[tenant] = scoped.evaluate(ring)
+    return verdicts

@@ -260,6 +260,28 @@ class TimeSeriesRing:
         """Bucket bounds of a sampled histogram family, if seen."""
         return self._buckets.get(name)
 
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Distinct values one label has taken for a family (sorted).
+
+        Enumerates every sampled slot, so it sees exactly the label sets
+        the ring can answer windowed queries about — e.g. the tenants
+        with any traffic inside the ring's horizon.
+        """
+        names = self._labelnames.get(name, ())
+        try:
+            idx = names.index(label)
+        except ValueError:
+            return []
+        with self._lock:
+            slots = list(self._slots)
+        values: set[str] = set()
+        for slot in slots:
+            for series in (slot.counters, slot.hist, slot.gauges):
+                for fam, lv in series:
+                    if fam == name and len(lv) > idx:
+                        values.add(lv[idx])
+        return sorted(values)
+
     # ------------------------------------------------------------------
     # introspection / export
     # ------------------------------------------------------------------

@@ -35,7 +35,7 @@ per-phase wall-time breakdown whenever tracing is on.
 
 from __future__ import annotations
 
-import contextlib
+import collections
 import contextvars
 import functools
 import json
@@ -65,6 +65,20 @@ _thread_names: dict[int, str] = {}
 #: keyed ``(pid, tid)`` — worker tids can collide with local ones.
 _foreign_thread_names: dict[tuple[int, int], str] = {}
 _EPOCH = time.perf_counter()
+
+#: Cached pid stamped onto every event (``os.getpid`` per span adds up
+#: on the serving path); refreshed in fork children, and spawn children
+#: re-import the module so they pick up their own.
+_PID = os.getpid()
+
+
+def _refresh_pid() -> None:
+    global _PID
+    _PID = os.getpid()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_refresh_pid)
 
 
 def epoch() -> float:
@@ -104,14 +118,201 @@ def current_trace_id() -> str | None:
     return _trace_id_var.get()
 
 
-@contextlib.contextmanager
-def trace_scope(trace_id: str):
-    """Make ``trace_id`` the active id for the enclosed block."""
-    token = _trace_id_var.set(trace_id)
-    try:
-        yield trace_id
-    finally:
-        _trace_id_var.reset(token)
+class trace_scope:
+    """Make ``trace_id`` the active id for the enclosed block.
+
+    A ``__slots__`` class rather than a generator context manager: this
+    sits on the per-request serving path (and inside fan-out worker
+    closures), where the generator protocol's overhead is measurable.
+    """
+
+    __slots__ = ("_trace_id", "_token")
+
+    def __init__(self, trace_id: str) -> None:
+        self._trace_id = trace_id
+
+    def __enter__(self) -> str:
+        self._token = _trace_id_var.set(self._trace_id)
+        return self._trace_id
+
+    def __exit__(self, *exc) -> bool:
+        _trace_id_var.reset(self._token)
+        return False
+
+
+# ----------------------------------------------------------------------
+# per-request span sinks
+# ----------------------------------------------------------------------
+#: Events one collector will buffer at most; beyond it they are counted
+#: as dropped (a single request must not hoard memory).
+MAX_SINK_EVENTS = 2048
+
+#: Per-context span sink.  The serving layer attaches a
+#: :class:`SpanCollector` per request so that request's spans are
+#: captured even while global tracing is off (the tail-sampled trace
+#: store keeps only interesting requests, so always-on collection is
+#: affordable where always-on global tracing is not).  Like the trace
+#: id, the sink does NOT cross ``ThreadPoolExecutor`` hops by itself —
+#: worker closures re-enter :func:`sink_scope` explicitly.
+_sink_var: contextvars.ContextVar["SpanCollector | None"] = (
+    contextvars.ContextVar("repro_span_sink", default=None)
+)
+
+#: How many :func:`span_sink` scopes are live process-wide.  Lets
+#: :func:`span` stay a single flag check when no request is being
+#: collected anywhere (the common idle / tracing-off case).
+_active_sinks = 0
+
+
+class SpanCollector:
+    """Buffers the span events of one request.
+
+    A bounded ring keeping the *newest* events: complete spans are
+    emitted at close time, so the enclosing request / gate / executor
+    spans arrive last — evicting the oldest events sheds early micro
+    leaf phases while guaranteeing the tree's trunk survives even when
+    a span-heavy query overflows the cap.  ``add`` leans on the GIL
+    for deque-append atomicity instead of taking a lock — it runs once
+    per span on the serving hot path; the dropped count can race by a
+    few under cross-thread fan-out, which is fine for bookkeeping.
+    """
+
+    __slots__ = ("events", "dropped")
+
+    def __init__(self) -> None:
+        self.events: collections.deque[dict] = collections.deque(
+            maxlen=MAX_SINK_EVENTS
+        )
+        self.dropped = 0
+
+    def add(self, event: dict) -> None:
+        if len(self.events) == MAX_SINK_EVENTS:
+            self.dropped += 1
+        self.events.append(event)
+
+    def add_span(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        args: dict | None,
+        trace_id: str | None,
+    ) -> None:
+        """Record one span as a compact tuple (the sink-only fast path).
+
+        Most collected requests are dropped by tail sampling, so
+        building a per-span event dict up front is wasted work; the
+        tuple is materialized by :meth:`snapshot` only when the trace
+        is actually kept.
+        """
+        if len(self.events) == MAX_SINK_EVENTS:
+            self.dropped += 1
+        self.events.append(
+            (name, cat, t0, t1, args, trace_id, threading.get_ident())
+        )
+
+    def snapshot(self) -> list[dict]:
+        """The buffered spans as Chrome-style event dicts.
+
+        Tuple entries from :meth:`add_span` are materialized here;
+        dict entries (worker spans delivered via :func:`ingest`, or
+        copies taken while global tracing was on) pass through as-is.
+        Call after the request's fan-out has completed — the ring is
+        not locked against concurrent adds.
+        """
+        out = []
+        for entry in list(self.events):
+            if isinstance(entry, dict):
+                out.append(entry)
+                continue
+            name, cat, t0, t1, args, trace_id, tid = entry
+            event = {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": (t0 - _EPOCH) * 1e6,
+                "dur": max(0.0, (t1 - t0) * 1e6),
+                "pid": _PID,
+                "tid": tid,
+            }
+            if trace_id is not None:
+                args = dict(args) if args else {}
+                args.setdefault("trace_id", trace_id)
+            if args:
+                event["args"] = args
+            out.append(event)
+        return out
+
+
+class span_sink:
+    """Deliver spans recorded in the enclosed block to the collector.
+
+    ``None`` is a no-op scope, so callers can write
+    ``with span_sink(collector if wanted else None):`` unconditionally.
+    Holds the process-wide active-sink count for its lifetime.  A
+    ``__slots__`` class for the same hot-path reason as
+    :class:`trace_scope`.
+    """
+
+    __slots__ = ("_collector", "_token")
+
+    def __init__(self, collector: "SpanCollector | None") -> None:
+        self._collector = collector
+
+    def __enter__(self) -> "SpanCollector | None":
+        global _active_sinks
+        if self._collector is None:
+            self._token = None
+            return None
+        self._token = _sink_var.set(self._collector)
+        with _lock:
+            _active_sinks += 1
+        return self._collector
+
+    def __exit__(self, *exc) -> bool:
+        global _active_sinks
+        if self._token is not None:
+            with _lock:
+                _active_sinks -= 1
+            _sink_var.reset(self._token)
+        return False
+
+
+class sink_scope:
+    """Re-enter an existing sink on another thread.
+
+    Unlike :class:`span_sink` this does not touch the active-sink count —
+    the originating scope owns the sink's lifetime; worker closures only
+    borrow it for the duration of their slice of the request.
+    """
+
+    __slots__ = ("_collector", "_token")
+
+    def __init__(self, collector: "SpanCollector | None") -> None:
+        self._collector = collector
+
+    def __enter__(self) -> "SpanCollector | None":
+        if self._collector is None:
+            self._token = None
+            return None
+        self._token = _sink_var.set(self._collector)
+        return self._collector
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _sink_var.reset(self._token)
+        return False
+
+
+def current_sink() -> "SpanCollector | None":
+    """The span sink active in this context, if any."""
+    return _sink_var.get()
+
+
+def sink_active() -> bool:
+    """Whether any request is being collected process-wide."""
+    return _active_sinks > 0
 
 
 # ----------------------------------------------------------------------
@@ -162,7 +363,7 @@ class enabled_tracing:
 def _append(event: dict) -> None:
     global _dropped
     tid = threading.get_ident()
-    event["pid"] = os.getpid()
+    event["pid"] = _PID
     event["tid"] = tid
     trace_id = _trace_id_var.get()
     if trace_id is not None:
@@ -171,6 +372,12 @@ def _append(event: dict) -> None:
             event["args"] = {"trace_id": trace_id}
         elif "trace_id" not in args:
             args["trace_id"] = trace_id
+    sink = _sink_var.get()
+    if sink is not None:
+        # Only reached while global tracing is on (the sink-only path
+        # short-circuits in add_complete), so the global buffer keeps
+        # the original and the sink takes a copy.
+        sink.add(dict(event))
     with _lock:
         if len(_events) >= MAX_EVENTS:
             _dropped += 1
@@ -187,7 +394,17 @@ def add_complete(
     cat: str = "query",
     args: dict | None = None,
 ) -> None:
-    """Record a complete ("X") span from perf_counter stamps ``t0``/``t1``."""
+    """Record a complete ("X") span from perf_counter stamps ``t0``/``t1``.
+
+    With global tracing off (a live sink armed the span), the event is
+    handed to the sink as a compact tuple — no dict is built unless
+    tail sampling ends up keeping the request.
+    """
+    if not enabled:
+        sink = _sink_var.get()
+        if sink is not None:
+            sink.add_span(name, cat, t0, t1, args, _trace_id_var.get())
+        return
     event = {
         "name": name,
         "cat": cat,
@@ -255,9 +472,12 @@ def span(name: str, cat: str = "query", **args):
     """Context manager timing a block as one span.
 
     One branch + one call when tracing is off (returns the shared no-op
-    span); a real timed span otherwise.
+    span); a real timed span otherwise.  A live per-request sink
+    anywhere in the process also arms spans — :func:`_append` then
+    routes them to the context's sink without touching the global
+    buffer.
     """
-    if not enabled:
+    if not enabled and not _active_sinks:
         return NULL_SPAN
     return _Span(name, cat, args or None)
 
@@ -363,8 +583,13 @@ NULL_RECORDER = _NullRecorder()
 
 
 def recorder():
-    """A fresh :class:`PhaseRecorder`, or the no-op singleton when off."""
-    return PhaseRecorder() if enabled else NULL_RECORDER
+    """A fresh :class:`PhaseRecorder`, or the no-op singleton when off.
+
+    Live per-request sinks arm recorders too, so served queries carry
+    ``phase_times`` and emit phase spans into their request's collector
+    even while global tracing is off.
+    """
+    return PhaseRecorder() if (enabled or _active_sinks) else NULL_RECORDER
 
 
 # ----------------------------------------------------------------------
@@ -397,15 +622,28 @@ def ingest(
     labels the worker tracks without colliding with local thread ids.
 
     Returns how many events were adopted; no-ops (returning 0) when
-    tracing is disabled.  Events beyond :data:`MAX_EVENTS` are counted
-    as dropped, exactly like local recording.
+    tracing is disabled and no per-request sink is active.  Events
+    beyond :data:`MAX_EVENTS` are counted as dropped, exactly like
+    local recording.  When the ingesting context carries a span sink
+    (a served request fanning out to process workers), the rebased
+    events are delivered to it as well, so the request's stored trace
+    includes the worker-side spans.
     """
     global _dropped
-    if not enabled:
+    sink = _sink_var.get()
+    if not enabled and sink is None:
         return 0
     shift_us = (
         (worker_epoch - _EPOCH) * 1e6 if worker_epoch is not None else 0.0
     )
+    if sink is not None:
+        for event in event_dicts:
+            shifted = dict(event)
+            if shift_us:
+                shifted["ts"] = shifted.get("ts", 0.0) + shift_us
+            sink.add(shifted)
+    if not enabled:
+        return 0
     n = 0
     with _lock:
         for event in event_dicts:

@@ -25,6 +25,7 @@ from repro.core.executor import QueryExecutor
 from repro.core.processor import QueryProcessor
 from repro.data.synthetic import synthetic_feature_sets, synthetic_objects
 from repro.data.workload import WorkloadSpec, make_workload
+from repro.obs import requests as _requests
 from repro.obs import resources as _resources
 from repro.obs import slo as _slo
 from repro.obs.timeseries import Sampler, TimeSeriesRing
@@ -55,8 +56,17 @@ def main(argv=None) -> int:
         "--slo", type=Path, default=Path("SLO.json"),
         help="SLO document committing the latency target",
     )
+    parser.add_argument(
+        "--no-request-traces", action="store_true",
+        help="disable the tail-sampled request trace store",
+    )
     args = parser.parse_args(argv)
     logging.basicConfig(level=logging.INFO, format="%(message)s")
+    # The README's tracing walkthrough runs against this server, so the
+    # tail-sampled store is on by default here (the library default
+    # stays off).
+    if not args.no_request_traces:
+        _requests.configure(enabled_=True)
 
     objects = synthetic_objects(args.objects, seed=args.seed)
     feature_sets = synthetic_feature_sets(
@@ -102,6 +112,8 @@ def main(argv=None) -> int:
     print(f"query service on {base}")
     print(f"  POST {base}/query        e.g. {json.dumps(body)}")
     print(f"  GET  {base}/stats/serve  (admission/cache/quota state)")
+    if not args.no_request_traces:
+        print(f"  GET  {base}/traces.json  (tail-sampled request traces)")
     print(f"  GET  {base}/dashboard    (live telemetry)")
     print(f"  GET  {base}/metrics      (Prometheus scrape)")
     try:

@@ -39,6 +39,7 @@ from repro.core.query import PreferenceQuery, Variant
 from repro.errors import QueryError, ReproError
 from repro.obs import export as _export
 from repro.obs import metrics as _metrics
+from repro.obs import requests as _requests
 from repro.serve.service import QueryService
 
 logger = logging.getLogger(__name__)
@@ -95,6 +96,7 @@ def _decision_body(decision) -> dict:
         result = decision.result
         return {
             "status": 200,
+            "trace_id": decision.trace_id,
             "cached": decision.cached,
             "items": [
                 {"oid": it.oid, "score": it.score, "x": it.x, "y": it.y}
@@ -110,7 +112,11 @@ def _decision_body(decision) -> dict:
             "queue_wait_s": decision.queue_wait_s,
             "latency_s": decision.latency_s,
         }
-    body = {"status": decision.status, "error": decision.reason}
+    body = {
+        "status": decision.status,
+        "error": decision.reason,
+        "trace_id": decision.trace_id,
+    }
     if decision.status == 429:
         body["retry_after_s"] = decision.retry_after_s
     return body
@@ -160,10 +166,19 @@ class _ServeHandler(_export._Handler):
         except (QueryError, ReproError) as exc:
             self._send_json(400, {"status": 400, "error": str(exc)})
             return
+        # A valid client traceparent donates its trace id; anything
+        # malformed (wrong widths, all-zero ids, version ff, uppercase
+        # hex) falls back to a service-minted id per the W3C spec.
+        parsed = _requests.parse_traceparent(self.headers.get("traceparent"))
         decision = self.service.handle(
-            tenant, query, algorithm=algorithm, pulling=pulling
+            tenant, query, algorithm=algorithm, pulling=pulling,
+            trace_id=parsed[0] if parsed else None,
         )
-        headers = {}
+        # The response names the request's trace in W3C form whatever
+        # the outcome — a 429 is exactly when the client wants the id.
+        headers = {"traceparent": _requests.format_traceparent(
+            decision.trace_id
+        )}
         if decision.status == 429:
             # Whole seconds, rounded up: Retry-After is integral in
             # HTTP, and rounding down would invite an early retry that

@@ -137,6 +137,11 @@ class TenantQuotas:
             else:  # every bucket is an override: nothing evictable
                 break
 
+    def tenant_count(self) -> int:
+        """Live bucket count (distinct tenants seen, post-eviction)."""
+        with self._lock:
+            return len(self._buckets)
+
     def describe(self) -> dict:
         """Live quota state, JSON-friendly (``/stats/serve`` payload)."""
         now = self._clock()

@@ -28,13 +28,27 @@ A request passes through three gates, in a deliberate order:
 Admitted queries run via :meth:`QueryExecutor.execute_one`, which
 reports the (queue_wait, latency) sample that feeds the backpressure
 window and the ``repro_serve_*`` metrics.
+
+Every request is traced end to end: :meth:`QueryService.handle` enters
+a trace scope (inheriting a client-donated W3C trace id when the HTTP
+layer parsed one), wraps each admission gate in a span
+(``serve.quota`` / ``serve.cache`` / ``serve.backpressure`` /
+``serve.execute``), collects the request's spans through a per-request
+sink even while global tracing is off, and hands the finished request
+to the tail-sampled trace store (:mod:`repro.obs.requests`).  RED
+metrics are tenant-scoped with bounded label cardinality: past
+``tenant_label_limit`` distinct tenants, new ones fold into the
+``__other__`` overflow label so a tenant-id cardinality explosion
+cannot take down the metrics registry.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,10 +58,15 @@ from repro.core.processor import ALGORITHM_ISS, ALGORITHM_STDS, ALGORITHM_STPS
 from repro.core.query import PreferenceQuery
 from repro.core.results import QueryResult
 from repro.errors import ReproError
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
+from repro.obs import requests as _requests
 from repro.obs import slo as _slo
+from repro.obs import tracing as _tracing
 from repro.serve.cache import ResultCache, query_signature
 from repro.serve.quota import QuotaSpec, TenantQuotas
+
+logger = logging.getLogger(__name__)
 
 ALGORITHMS = (ALGORITHM_STPS, ALGORITHM_STDS, ALGORITHM_ISS)
 PULLING_STRATEGIES = (PULL_PRIORITIZED, PULL_ROUND_ROBIN)
@@ -57,24 +76,36 @@ DEFAULT_MAX_QUEUE_DEPTH = 64
 
 #: Default sliding-window size (samples) for the queue-wait p95 gate.
 DEFAULT_QUEUE_WAIT_WINDOW = 256
+DEFAULT_QUEUE_WAIT_HORIZON_S = 10.0
 
 #: Fallback latency target when no SLO document is available.
 DEFAULT_LATENCY_SLO_S = 0.1
+
+#: Distinct tenants that get their own metric label before new ones
+#: fold into :data:`OVERFLOW_TENANT`.
+DEFAULT_TENANT_LABEL_LIMIT = 64
+
+#: The overflow label for tenants past the cardinality cap.
+OVERFLOW_TENANT = "__other__"
 
 #: Metric families owned by the serving layer (reset scope).
 SERVE_METRIC_FAMILIES = (
     "repro_serve_requests_total",
     "repro_serve_rejections_total",
     "repro_serve_request_seconds",
+    "repro_serve_tenant_seconds",
+    "repro_serve_cache_hit_rate",
+    "repro_serve_tenant_table_size",
+    "repro_serve_shed_requests",
 )
 
 
 def requests_metric() -> "_metrics.MetricFamily":
-    """Requests by outcome; lazily bound to the current registry."""
+    """Per-tenant requests by outcome; lazily bound to the registry."""
     return _metrics.registry().counter(
         "repro_serve_requests_total",
-        "Serving requests by outcome.",
-        ("status",),
+        "Serving requests by tenant and outcome.",
+        ("tenant", "outcome"),
     )
 
 
@@ -96,6 +127,15 @@ def request_seconds_metric() -> "_metrics.MetricFamily":
     )
 
 
+def tenant_seconds_metric() -> "_metrics.MetricFamily":
+    """End-to-end serving latency by tenant (cardinality-capped)."""
+    return _metrics.registry().histogram(
+        "repro_serve_tenant_seconds",
+        "Wall time from admission to response, by tenant.",
+        ("tenant",),
+    )
+
+
 @dataclass(slots=True)
 class ServeConfig:
     """Operator knobs for one :class:`QueryService`."""
@@ -107,8 +147,18 @@ class ServeConfig:
     #: from the repo's ``SLO.json`` with :meth:`from_slo_file`.
     latency_slo_s: float = DEFAULT_LATENCY_SLO_S
     queue_wait_window: int = DEFAULT_QUEUE_WAIT_WINDOW
+    #: Queue-wait samples older than this stop counting toward the
+    #: backpressure p95.  Without a time horizon a transient overload
+    #: poisons the count-bounded window permanently: cache misses get
+    #: shed (so they never execute and never refresh the window) while
+    #: cache hits bypass the gate — the service keeps shedding all
+    #: uncached work long after the queue has drained.
+    queue_wait_horizon_s: float = DEFAULT_QUEUE_WAIT_HORIZON_S
     cache_entries: int = 4096
     cache_enabled: bool = True
+    #: Cardinality cap on the ``tenant`` metric label; tenants past it
+    #: share the :data:`OVERFLOW_TENANT` label.
+    tenant_label_limit: int = DEFAULT_TENANT_LABEL_LIMIT
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -122,6 +172,16 @@ class ServeConfig:
         if self.queue_wait_window < 1:
             raise ReproError(
                 f"queue_wait_window must be >= 1, got {self.queue_wait_window}"
+            )
+        if self.queue_wait_horizon_s <= 0:
+            raise ReproError(
+                f"queue_wait_horizon_s must be > 0, got "
+                f"{self.queue_wait_horizon_s}"
+            )
+        if self.tenant_label_limit < 1:
+            raise ReproError(
+                f"tenant_label_limit must be >= 1, got "
+                f"{self.tenant_label_limit}"
             )
 
     @classmethod
@@ -163,6 +223,46 @@ class ServeDecision:
     reason: str = ""
     queue_wait_s: float = 0.0
     latency_s: float = 0.0
+    #: The request's trace id (client-donated or minted), set by
+    #: :meth:`QueryService.handle` on every decision.
+    trace_id: str = ""
+    #: Terminal outcome label: ok / cached / quota / backpressure /
+    #: bad_request / error.
+    outcome: str = ""
+
+
+class _TenantLabelLimiter:
+    """Caps distinct tenant label values; overflow shares one label."""
+
+    __slots__ = ("_limit", "_seen", "_lock")
+
+    def __init__(self, limit: int) -> None:
+        self._limit = limit
+        self._seen: set[str] = set()
+        self._lock = threading.Lock()
+
+    def resolve(self, tenant: str) -> str:
+        with self._lock:
+            if tenant in self._seen:
+                return tenant
+            if len(self._seen) < self._limit:
+                self._seen.add(tenant)
+                return tenant
+        return OVERFLOW_TENANT
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+
+#: Live services, for the resource sampler's serve gauges (weakly held:
+#: the sampler must never keep a closed service alive).
+_live_services: "weakref.WeakSet[QueryService]" = weakref.WeakSet()
+
+
+def live_services() -> list["QueryService"]:
+    """Currently live service instances (a snapshot)."""
+    return list(_live_services)
 
 
 class QueryService:
@@ -184,24 +284,39 @@ class QueryService:
         if live is not None:
             self.cache.attach_live(live)
         self._lock = threading.Lock()
-        self._queue_waits: deque[float] = deque(
+        #: ``(monotonic stamp, queue wait)`` pairs; bounded by count
+        #: *and* expired by age (``queue_wait_horizon_s``) so the gate
+        #: reflects current congestion, not a long-gone overload.
+        self._queue_waits: deque[tuple[float, float]] = deque(
             maxlen=self.config.queue_wait_window
+        )
+        self.tenant_labels = _TenantLabelLimiter(
+            self.config.tenant_label_limit
         )
         self.started_at = time.time()
         self.served = 0
         self.errors = 0
         self.rejected_quota = 0
         self.rejected_backpressure = 0
+        _live_services.add(self)
 
     # ------------------------------------------------------------------
     # admission gates
     # ------------------------------------------------------------------
     def queue_wait_p95(self) -> float:
-        """Sliding-window p95 of executor queue wait (0.0 when empty)."""
+        """Sliding-window p95 of executor queue wait (0.0 when empty).
+
+        Samples past the configured time horizon are pruned first, so
+        the answer always describes the recent past.
+        """
+        cutoff = time.monotonic() - self.config.queue_wait_horizon_s
         with self._lock:
-            if not self._queue_waits:
+            waits = self._queue_waits
+            while waits and waits[0][0] < cutoff:
+                waits.popleft()
+            if not waits:
                 return 0.0
-            ordered = sorted(self._queue_waits)
+            ordered = sorted(wait for _, wait in waits)
         rank = max(1, math.ceil(0.95 * len(ordered)))
         return ordered[rank - 1]
 
@@ -240,87 +355,175 @@ class QueryService:
         query: PreferenceQuery,
         algorithm: str = ALGORITHM_STPS,
         pulling: str = PULL_PRIORITIZED,
+        trace_id: str | None = None,
     ) -> ServeDecision:
-        """Admit + execute one request; never raises for request faults."""
+        """Admit + execute one request; never raises for request faults.
+
+        ``trace_id`` (when the transport parsed one out of a client
+        ``traceparent``) becomes the request's trace id end to end —
+        spans, flight records, exemplars, logs, and the trace store all
+        join on it; otherwise a fresh id is minted here, *before* the
+        gates, so even a quota 429 is a traced event.
+        """
+        trace_id = trace_id or _tracing.new_trace_id()
+        collector = _tracing.SpanCollector() if _requests.enabled else None
         t0 = time.perf_counter()
+        with _tracing.trace_scope(trace_id), _tracing.span_sink(collector):
+            with _tracing.span("serve.request", cat="serve", tenant=tenant):
+                decision = self._admit(tenant, query, algorithm, pulling)
+            decision.trace_id = trace_id
+            # Metrics + log inside the scope: the exemplar capture and
+            # the log record's trace_id field both read the ContextVar.
+            self._finish(t0, tenant, decision)
+        elapsed = time.perf_counter() - t0
+        if decision.status == 429 and _flight.enabled:
+            _flight.record_rejection(
+                query, f"serve/{algorithm}", pulling, trace_id, elapsed,
+                tenant=tenant, decision=decision.outcome,
+            )
+        if _requests.enabled:
+            # Both callables: most requests are dropped by the tail
+            # sampler, so the span dicts and the query-shape dict are
+            # only built for the kept few.
+            _requests.record(
+                trace_id=trace_id,
+                tenant=tenant,
+                outcome=decision.outcome,
+                status=decision.status,
+                duration_s=elapsed,
+                algorithm=algorithm,
+                pulling=pulling,
+                query=lambda: _flight._query_args(query),
+                spans=collector.snapshot if collector is not None else None,
+                reason=decision.reason,
+            )
+        return decision
+
+    def _admit(
+        self,
+        tenant: str,
+        query: PreferenceQuery,
+        algorithm: str,
+        pulling: str,
+    ) -> ServeDecision:
+        """The admission waterfall; every gate is a traced span."""
         if algorithm not in ALGORITHMS:
-            return self._finish(t0, ServeDecision(
-                status=400,
+            return ServeDecision(
+                status=400, outcome="bad_request",
                 reason=f"unknown algorithm {algorithm!r}; "
                        f"choose from {list(ALGORITHMS)}",
-            ))
+            )
         if pulling not in PULLING_STRATEGIES:
-            return self._finish(t0, ServeDecision(
-                status=400,
+            return ServeDecision(
+                status=400, outcome="bad_request",
                 reason=f"unknown pulling {pulling!r}; "
                        f"choose from {list(PULLING_STRATEGIES)}",
-            ))
+            )
 
         # Gate 1: tenant quota.
-        retry_after = self.quotas.try_acquire(tenant)
+        with _tracing.span("serve.quota", cat="serve", tenant=tenant):
+            retry_after = self.quotas.try_acquire(tenant)
         if retry_after > 0.0:
             self.rejected_quota += 1
             rejections_metric().labels(reason="quota").inc()
-            return self._finish(t0, ServeDecision(
-                status=429,
+            return ServeDecision(
+                status=429, outcome="quota",
                 retry_after_s=retry_after,
                 reason=f"tenant {tenant!r} over quota",
-            ))
+            )
 
         # Gate 2: result cache (hits bypass backpressure — they cost no
         # executor capacity, so shedding them would be pure waste).
         key = None
+        hit = None
         if self.config.cache_enabled:
-            key = query_signature(query, algorithm, pulling)
-            hit = self.cache.get(key)
+            with _tracing.span("serve.cache", cat="serve"):
+                key = query_signature(query, algorithm, pulling)
+                hit = self.cache.get(key)
             if hit is not None:
                 self.served += 1
-                return self._finish(t0, ServeDecision(
-                    status=200, result=hit, cached=True,
-                ))
+                return ServeDecision(
+                    status=200, outcome="cached", result=hit, cached=True,
+                )
 
         # Gate 3: backpressure.
-        shed, why = self._backpressured()
+        with _tracing.span("serve.backpressure", cat="serve"):
+            shed, why = self._backpressured()
         if shed:
             self.rejected_backpressure += 1
             rejections_metric().labels(reason="backpressure").inc()
-            return self._finish(t0, ServeDecision(
-                status=429,
+            return ServeDecision(
+                status=429, outcome="backpressure",
                 retry_after_s=self._backpressure_retry_after(),
                 reason=why,
-            ))
+            )
 
         # Execute.
         try:
-            result, queue_wait_s, latency_s = self.executor.execute_one(
-                query, algorithm=algorithm, pulling=pulling
-            )
+            with _tracing.span(
+                "serve.execute", cat="serve", algorithm=algorithm
+            ):
+                result, queue_wait_s, latency_s = self.executor.execute_one(
+                    query, algorithm=algorithm, pulling=pulling
+                )
         except ReproError as exc:
             self.errors += 1
-            return self._finish(t0, ServeDecision(
-                status=400, reason=str(exc)
-            ))
+            return ServeDecision(
+                status=400, outcome="bad_request", reason=str(exc)
+            )
         except Exception as exc:  # engine bug: the request still answers
             self.errors += 1
-            return self._finish(t0, ServeDecision(
-                status=500, reason=f"{type(exc).__name__}: {exc}"
-            ))
+            return ServeDecision(
+                status=500, outcome="error",
+                reason=f"{type(exc).__name__}: {exc}",
+            )
         with self._lock:
-            self._queue_waits.append(queue_wait_s)
+            self._queue_waits.append((time.monotonic(), queue_wait_s))
         if key is not None:
             self.cache.put(key, result)
         self.served += 1
-        return self._finish(t0, ServeDecision(
-            status=200, result=result,
+        return ServeDecision(
+            status=200, outcome="ok", result=result,
             queue_wait_s=queue_wait_s, latency_s=latency_s,
-        ))
+        )
 
-    def _finish(self, t0: float, decision: ServeDecision) -> ServeDecision:
+    def _finish(
+        self, t0: float, tenant: str, decision: ServeDecision
+    ) -> ServeDecision:
         elapsed = time.perf_counter() - t0
-        status = str(decision.status)
-        requests_metric().labels(status=status).inc()
-        request_seconds_metric().labels(status=status).observe(elapsed)
+        label_tenant = self.tenant_labels.resolve(tenant)
+        requests_metric().labels(
+            tenant=label_tenant, outcome=decision.outcome
+        ).inc()
+        request_seconds_metric().labels(
+            status=str(decision.status)
+        ).observe(elapsed)
+        tenant_seconds_metric().labels(tenant=label_tenant).observe(elapsed)
+        self._update_gauges()
+        if logger.isEnabledFor(logging.INFO):
+            logger.info(
+                "request tenant=%s outcome=%s status=%d latency_ms=%.2f "
+                "cached=%s",
+                tenant, decision.outcome, decision.status, elapsed * 1e3,
+                decision.cached,
+            )
         return decision
+
+    def _update_gauges(self) -> None:
+        """Serve-state gauges for Prometheus/OpenMetrics scrapes."""
+        reg = _metrics.registry()
+        reg.gauge(
+            "repro_serve_cache_hit_rate",
+            "Result-cache hit rate since service start.",
+        ).set(self.cache.hit_rate)
+        reg.gauge(
+            "repro_serve_tenant_table_size",
+            "Distinct tenants with live quota buckets.",
+        ).set(float(self.quotas.tenant_count()))
+        reg.gauge(
+            "repro_serve_shed_requests",
+            "Requests shed by admission control since service start.",
+        ).set(float(self.rejected_quota + self.rejected_backpressure))
 
     # ------------------------------------------------------------------
     # introspection
@@ -345,6 +548,10 @@ class QueryService:
             },
             "cache": self.cache.describe(),
             "quotas": self.quotas.describe(),
+            "tenant_labels": {
+                "limit": self.config.tenant_label_limit,
+                "distinct": len(self.tenant_labels),
+            },
         }
 
     def close(self) -> None:

@@ -371,7 +371,11 @@ class ProcessShardRunner:
             explain,
             _flight.enabled,
             _flight.latency_threshold(),
-            _tracing.enabled,
+            # A per-request span sink on the dispatching context wants
+            # worker spans too: the parent's ingest() routes them into
+            # the sink (and into the global buffer only when tracing is
+            # globally on).
+            _tracing.enabled or _tracing.current_sink() is not None,
             _tracing.verbose,
             _metrics.exemplars_enabled,
             manifest=manifest,

@@ -665,6 +665,7 @@ class ShardedQueryProcessor:
         # One registry resolution per query, shared by every shard runner
         # (the handle itself is thread-safe).
         outcomes = shard_queries_metric()
+        sink = _tracing.current_sink()
 
         def run(bound: float, idx: int):
             shard = self.shards[idx]
@@ -682,10 +683,13 @@ class ShardedQueryProcessor:
             sub = col.child(shard_id) if col.active else None
             shard_t0 = time.perf_counter()
             # Pool threads don't inherit the caller's contextvars —
-            # re-enter the trace scope so the per-shard query (and its
-            # spans, logs, flight records) carries the parent trace id.
+            # re-enter the trace scope (and the caller's per-request
+            # span sink, when serving) so the per-shard query and its
+            # spans, logs, flight records carry the parent trace id.
             try:
-                with _tracing.trace_scope(trace_id), rec.span(
+                with _tracing.trace_scope(trace_id), _tracing.sink_scope(
+                    sink
+                ), rec.span(
                     "shard.query", shard=shard_id, bound=bound
                 ):
                     result = shard.processor.query(

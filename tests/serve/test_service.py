@@ -8,6 +8,7 @@ real executor to pin the end-to-end dispatch.
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
@@ -160,6 +161,29 @@ class TestBackpressureGate:
         assert "p95" in decision.reason
         assert executor.calls == 1
 
+    def test_stale_overload_expires_past_horizon(self):
+        # A transient overload must not poison the gate forever: shed
+        # misses never execute (so they never refresh the window) and
+        # cache hits bypass the gate entirely, so only the time horizon
+        # can cure a stale breach.
+        executor = FakeExecutor(depth=0, queue_wait_s=0.5)
+        service = QueryService(
+            executor,
+            ServeConfig(
+                latency_slo_s=0.1, cache_enabled=False,
+                queue_wait_horizon_s=0.05,
+            ),
+        )
+        assert service.handle("t", QUERY).status == 200
+        assert service.handle("t", QUERY).status == 429  # window poisoned
+        time.sleep(0.06)  # breach ages past the horizon
+        executor.queue_wait_s = 0.001
+        assert service.handle("t", QUERY).status == 200
+
+    def test_rejects_non_positive_horizon(self):
+        with pytest.raises(ReproError, match="queue_wait_horizon_s"):
+            ServeConfig(queue_wait_horizon_s=0.0)
+
     def test_healthy_waits_admit(self):
         executor = FakeExecutor(depth=0, queue_wait_s=0.001)
         service = QueryService(
@@ -189,7 +213,7 @@ class TestErrors:
 
 
 class TestMetricsAndDescribe:
-    def test_request_metrics_by_status(self):
+    def test_request_metrics_by_tenant_and_outcome(self):
         with _metrics.scoped_registry() as reg:
             service = make_service(
                 default_quota=QuotaSpec(rate=1, burst=1)
@@ -197,7 +221,7 @@ class TestMetricsAndDescribe:
             service.handle("t", QUERY)
             service.handle("t", QUERY)
             requests = {
-                lv[0]: c.value
+                lv: c.value
                 for lv, c in reg.get(
                     "repro_serve_requests_total"
                 ).series()
@@ -208,8 +232,15 @@ class TestMetricsAndDescribe:
                     "repro_serve_rejections_total"
                 ).series()
             }
-        assert requests == {"200": 1, "429": 1}
+            statuses = {
+                lv[0]: h.count
+                for lv, h in reg.get(
+                    "repro_serve_request_seconds"
+                ).series()
+            }
+        assert requests == {("t", "ok"): 1, ("t", "quota"): 1}
         assert rejections == {"quota": 1}
+        assert statuses == {"200": 1, "429": 1}
 
     def test_describe_is_strict_json(self):
         service = make_service()

@@ -103,6 +103,40 @@ def test_worker_thread_names_in_chrome_trace(corpus):
     assert metadata, "no worker thread_name metadata emitted"
 
 
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sink_collects_worker_spans_with_tracing_off(corpus, start_method):
+    """A served request's sink sees worker spans under one trace id.
+
+    Global tracing stays OFF the whole time: the per-request span sink
+    alone must arm span recording across the process boundary, and the
+    spans that come back must carry the caller's trace id — under spawn,
+    where nothing is inherited, that identity can only have travelled
+    through the dispatch payload.
+    """
+    objects, feature_sets = corpus
+    trace_id = "feedfacefeedface"
+    collector = tracing.SpanCollector()
+    with ShardedQueryProcessor.build(
+        objects, feature_sets, shards=2, radius=0.1,
+        fanout="processes", start_method=start_method,
+    ) as sharded:
+        with tracing.trace_scope(trace_id), tracing.span_sink(collector):
+            result = sharded.query(
+                PreferenceQuery(5, 0.06, 0.5, (0b1011, 0b1101))
+            )
+
+    assert result.stats.trace_id == trace_id
+    assert tracing.events() == []  # global buffer untouched
+    spans = collector.snapshot()
+    foreign = [e for e in spans if e.get("pid") != os.getpid()]
+    assert foreign, "no worker-process spans reached the request sink"
+    assert all(
+        (e.get("args") or {}).get("trace_id") == trace_id for e in foreign
+    ), "worker spans lost the request trace id"
+    local = [e for e in spans if e.get("pid") == os.getpid()]
+    assert local, "no parent-side spans in the request sink"
+
+
 def test_disabled_tracing_ships_no_spans(corpus):
     objects, feature_sets = corpus
     with ShardedQueryProcessor.build(
